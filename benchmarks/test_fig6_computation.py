@@ -1,0 +1,69 @@
+"""Figure 6 — effect of (data-independent) computation.
+
+The paper: "JNI performs worse than both C++ options.  However, the
+difference is a constant small invocation cost difference" — i.e. the
+sandbox executes pure computation competitively thanks to the JIT, and
+its *relative* penalty does not grow with the amount of computation.
+
+Our JIT emits Python rather than machine code, so the sandbox carries a
+modest constant *factor* (the inline wrap/fuel instrumentation) instead
+of a constant additive gap; the claim that reproduces is that the
+JNI/C++ ratio is bounded and flat as computation grows (see
+EXPERIMENTS.md for the discussion).
+"""
+
+import pytest
+from conftest import once
+
+from repro.bench.figures import run_fig6
+from repro.bench.report import render
+from repro.bench.workload import PAPER_DESIGNS
+from repro.core.designs import Design
+
+INVOCATIONS = 50
+SWEEP = (0, 100, 1000, 10000)
+
+
+@pytest.mark.parametrize(
+    "design", PAPER_DESIGNS, ids=lambda d: d.paper_label
+)
+@pytest.mark.parametrize("num_indep", [100, 10000])
+def test_computation(benchmark, workload, design, num_indep):
+    udf = workload.generic_names[design]
+    sql = workload.udf_query(
+        10000, udf, INVOCATIONS, num_indep=num_indep
+    )
+    rounds = 3 if design.is_isolated else 5
+    benchmark.pedantic(
+        workload.db.execute, args=(sql,), rounds=rounds, iterations=1
+    )
+
+
+def test_fig6_shape(benchmark, workload, timer):
+    result = once(
+        benchmark,
+        lambda: run_fig6(
+            workload, invocations=INVOCATIONS,
+            computation_sweep=SWEEP, timer=timer,
+        ),
+    )
+    print()
+    print(render(result))
+    print(render(result.relative_to("C++")))
+
+    cpp = dict(result.series["C++"])
+    jni = dict(result.series["JNI"])
+
+    # Computation dominates at the top of the sweep for both designs.
+    assert cpp[SWEEP[-1]] > 3 * cpp[SWEEP[1]]
+    assert jni[SWEEP[-1]] > 3 * jni[SWEEP[1]]
+
+    # The sandbox's relative penalty is bounded and does not explode
+    # with computation (the paper's central Figure 6 claim).  Our JIT
+    # emits instrumented Python, so the bounded factor is ~6-10x where
+    # the paper's machine-code JIT saw ~1.1x; the *flatness* is what
+    # carries over (see EXPERIMENTS.md).
+    ratio_top = jni[SWEEP[-1]] / cpp[SWEEP[-1]]
+    assert ratio_top < 14.0, f"JNI/C++ ratio {ratio_top:.2f} at {SWEEP[-1]}"
+    ratio_mid = jni[SWEEP[2]] / cpp[SWEEP[2]]
+    assert ratio_top < 2.5 * max(ratio_mid, 0.5), "penalty grows with work"

@@ -1,0 +1,67 @@
+"""Figure 8 — effect of callbacks.
+
+The paper: "The isolated C++ design performs poorly because it faces the
+most expensive boundary to cross.  For Java UDFs, the overhead imposed
+by the Java native interface is not as significant ... Even for the
+common case where there are a few callbacks, IC++ is significantly
+slower than JNI."
+"""
+
+import pytest
+from conftest import once
+
+from repro.bench.figures import run_fig8
+from repro.bench.report import render
+from repro.bench.workload import PAPER_DESIGNS
+from repro.core.designs import Design
+
+INVOCATIONS = 100
+SWEEP = (0, 1, 10, 50)
+
+
+@pytest.mark.parametrize(
+    "design", PAPER_DESIGNS, ids=lambda d: d.paper_label
+)
+@pytest.mark.parametrize("callbacks", [1, 10])
+def test_callbacks(benchmark, workload, design, callbacks):
+    udf = workload.generic_names[design]
+    sql = workload.udf_query(
+        100, udf, INVOCATIONS, num_callbacks=callbacks
+    )
+    rounds = 3 if design.is_isolated else 5
+    benchmark.pedantic(
+        workload.db.execute, args=(sql,), rounds=rounds, iterations=1
+    )
+
+
+def test_fig8_shape(benchmark, workload, timer):
+    result = once(
+        benchmark,
+        lambda: run_fig8(
+            workload, invocations=INVOCATIONS, callback_sweep=SWEEP,
+            timer=timer,
+        ),
+    )
+    print()
+    print(render(result))
+    print(render(result.relative_to("C++")))
+
+    cpp = dict(result.series["C++"])
+    icpp = dict(result.series["IC++"])
+    jni = dict(result.series["JNI"])
+    top = SWEEP[-1]
+
+    # Per-callback marginal costs (seconds per callback per invocation).
+    def marginal(series):
+        return (series[top] - series[SWEEP[0]]) / top
+
+    # IC++ pays the most expensive boundary per callback.
+    assert marginal(icpp) > marginal(jni)
+    assert marginal(icpp) > marginal(cpp)
+
+    # "Even for ... a few callbacks, IC++ is significantly slower than
+    # JNI": compare total times at 10 callbacks.
+    assert icpp[10] > jni[10]
+
+    # In-process native callbacks are nearly free by comparison.
+    assert marginal(cpp) < marginal(icpp) / 3

@@ -1,0 +1,28 @@
+"""Table 1: the design space for server-side UDFs (qualitative)."""
+
+from conftest import once
+
+from repro.bench.figures import run_table1
+from repro.bench.report import render
+
+
+def test_table1_design_space(benchmark):
+    result = once(benchmark, run_table1)
+    rows = {row["design"]: row for row in result.meta["rows"]}
+    print()
+    print(render(result))
+
+    # The paper's two axes: language and process.
+    assert rows["C++"]["language"] == "native"
+    assert rows["C++"]["process"] == "same"
+    assert rows["IC++"]["process"] == "isolated"
+    assert rows["JNI"]["language"] == "jaguar"
+
+    # Security properties follow the axes.
+    assert not rows["C++"]["crash_contained"]
+    assert rows["IC++"]["crash_contained"]
+    assert rows["JNI"]["crash_contained"]
+    assert rows["JNI"]["portable"] and not rows["IC++"]["portable"]
+    # Our Section 6.2 extension: only the sandbox polices resources.
+    assert rows["JNI"]["resources_policed"]
+    assert not rows["IC++"]["resources_policed"]

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Section 5.6 made executable: a cost model + design advisor.
+
+    "There is a tradeoff in the design of a UDF ... In fact, our
+    experiments can help model the behavior of any UDF by splitting the
+    work of the UDF into different components."
+
+This script runs a small calibration (the generic UDF with varying
+parameters under each design), fits the per-design cost model
+
+    T = c_invoke + c_indep*NDI + c_dep*NDD*bytes + c_cb*NC + c_data*bytes
+
+by least squares, and then *recommends a design* for several workload
+shapes — requiring safety (so Design 1 is out), exactly the deployment
+scenario of the paper's introduction.
+
+Run:  python examples/design_advisor.py      (takes ~a minute)
+"""
+
+from repro.bench.harness import Timer, measure_udf_cost
+from repro.bench.workload import BenchmarkWorkload
+from repro.core.cost_model import fit_cost_model, recommend_design
+from repro.core.designs import Design
+
+DESIGNS = (
+    Design.NATIVE_INTEGRATED,
+    Design.NATIVE_ISOLATED,
+    Design.SANDBOX_JIT,
+    Design.SANDBOX_ISOLATED,
+)
+
+#: (bytes, NumDataIndepComps, NumDataDepComps, NumCallbacks) calibration grid.
+GRID = [
+    (1, 0, 0, 0),
+    (100, 0, 0, 0),
+    (10000, 0, 0, 0),
+    (100, 2000, 0, 0),
+    (100, 0, 0, 5),
+    (100, 0, 0, 20),
+    (10000, 0, 2, 0),
+    (10000, 0, 6, 0),
+    (10000, 2000, 1, 2),
+]
+
+
+def calibrate(workload, design, timer):
+    invocations = min(200, workload.cardinality)
+    samples = []
+    for nbytes, ndi, ndd, nc in GRID:
+        total = measure_udf_cost(
+            workload, nbytes, workload.generic_names[design], invocations,
+            num_indep=ndi, num_dep=ndd, num_callbacks=nc, timer=timer,
+        )
+        samples.append((nbytes, ndi, ndd, nc, total / invocations))
+    return fit_cost_model(design, samples)
+
+
+def main() -> None:
+    print("building calibration workload ...")
+    timer = Timer(repeat=2, warmup=1)
+    with BenchmarkWorkload(cardinality=400) as workload:
+        models = {}
+        for design in DESIGNS:
+            print(f"calibrating {design.paper_label} ...")
+            models[design] = calibrate(workload, design, timer)
+
+        print("\nfitted per-invocation cost models (seconds):")
+        header = f"{'design':12s} {'invoke':>10s} {'per-indep':>11s} " \
+                 f"{'per-dep-byte':>13s} {'per-callback':>13s} {'per-byte':>10s}"
+        print(header)
+        for design, model in models.items():
+            d = model.as_dict()
+            print(
+                f"{design.paper_label:12s} {d['invoke']:10.2e} "
+                f"{d['indep']:11.2e} {d['dep_byte']:13.2e} "
+                f"{d['callback']:13.2e} {d['data_byte']:10.2e}"
+            )
+
+        print("\nrecommendations (safety required — Design 1 excluded):")
+        scenarios = [
+            ("tiny arithmetic predicate", (8, 50, 0, 0)),
+            ("image transform (1 pass over 10KB)", (10000, 0, 1, 0)),
+            ("clip/lookup (many callbacks)", (100, 0, 0, 50)),
+            ("compute-heavy formula", (100, 50000, 0, 0)),
+        ]
+        for label, shape in scenarios:
+            best, cost = recommend_design(models, *shape)
+            print(
+                f"  {label:38s} -> {best.paper_label:6s} "
+                f"(~{cost * 1e6:8.1f} us/invocation)"
+            )
+    print("\n(The paper's Section 5.6 conclusion, automated.)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,147 @@
+#!/usr/bin/env python3
+"""Every attack from Section 1, launched against the server.
+
+    "the DBMS must be wary of UDFs that might crash the database
+    system, that modify its files or memory directly, circumventing the
+    authorization mechanisms, or that monopolize CPU, memory or disk
+    resources leading to a reduction in DBMS performance (i.e., denial
+    of service)."
+
+Each attack is attempted under the design that *stops* it (and the
+narration notes which designs would not).
+
+Run:  python examples/malicious_udfs.py
+"""
+
+from repro import Database
+from repro.errors import (
+    FuelExhausted,
+    MemoryQuotaExceeded,
+    SecurityViolation,
+    UDFCrashed,
+    VerifyError,
+)
+
+
+def attack(title):
+    print(f"\n=== {title} ===")
+
+
+def main() -> None:
+    db = Database()
+    db.execute("CREATE TABLE victims (id INT)")
+    db.execute("INSERT INTO victims VALUES (1), (2), (3)")
+
+    attack("CPU denial of service (infinite loop)")
+    db.execute(
+        "CREATE FUNCTION cpu_bomb(int) RETURNS int LANGUAGE JAGUAR "
+        "DESIGN SANDBOX FUEL 200000 AS "
+        "'def cpu_bomb(x: int) -> int:\n    while True:\n        pass\n'"
+    )
+    try:
+        db.execute("SELECT cpu_bomb(id) FROM victims")
+    except FuelExhausted as exc:
+        print(f"  stopped: {exc}")
+    print("  (a 1998 JVM had no such quota — Section 6.2; Design 1/2 still don't)")
+
+    attack("memory denial of service (allocation bomb)")
+    db.execute(
+        "CREATE FUNCTION mem_bomb(int) RETURNS int LANGUAGE JAGUAR "
+        "DESIGN SANDBOX MEMORY 4194304 AS "
+        "'def mem_bomb(x: int) -> int:\n"
+        "    total: int = 0\n"
+        "    for i in range(1000000):\n"
+        "        a: bytes = bytearray(1048576)\n"
+        "        total = total + len(a)\n"
+        "    return total\n'"
+    )
+    try:
+        db.execute("SELECT mem_bomb(id) FROM victims")
+    except MemoryQuotaExceeded as exc:
+        print(f"  stopped: {exc}")
+
+    attack("unauthorized data access (callback without permission)")
+    db.execute(
+        "CREATE FUNCTION snoop(int) RETURNS int LANGUAGE JAGUAR "
+        "DESIGN SANDBOX AS "   # note: no CALLBACKS grant
+        "'def snoop(x: int) -> int:\n    return cb_lob_length(x)\n'"
+    )
+    try:
+        db.execute("SELECT snoop(id) FROM victims")
+    except SecurityViolation as exc:
+        print(f"  stopped: {exc}")
+    udf = db.vm.get_udf("snoop")
+    for record in udf.security.denials():
+        print(f"  audit trail: {record.class_name} denied {record.target!r}")
+
+    attack("forged bytecode (type confusion via hand-built classfile)")
+    from repro.vm.classfile import ClassFile, FunctionDef
+    from repro.vm.opcodes import Instr, Op
+    from repro.vm.values import VMType
+
+    forged = ClassFile(name="udf_forged")
+    forged.add_function(
+        FunctionDef(
+            name="forged",
+            param_types=(VMType.INT,),
+            ret_type=VMType.INT,
+            local_types=(VMType.INT,),
+            code=(
+                Instr(Op.LOAD, 0),
+                Instr(Op.ICONST, 0),
+                Instr(Op.ALOAD, None),  # treat an int as an array!
+                Instr(Op.RET, None),
+            ),
+        )
+    )
+    from repro.core.designs import Design
+    from repro.core.udf import UDFDefinition, UDFSignature
+
+    try:
+        db.register_udf(
+            UDFDefinition(
+                name="forged",
+                signature=UDFSignature(("int",), "int"),
+                design=Design.SANDBOX_JIT,
+                payload=forged.to_bytes(),
+                entry="forged",
+            )
+        )
+    except VerifyError as exc:
+        print(f"  stopped by the verifier: {exc}")
+
+    attack("hard crash of native code (Design 2 containment)")
+    # ``os._exit`` is the closest Python analog of a C++ segfault.  In
+    # Design 1 this would take the whole server down; Design 2 loses
+    # only the executor process.
+    db.execute(
+        "CREATE FUNCTION crasher(int) RETURNS int LANGUAGE NATIVE "
+        "DESIGN ISOLATED AS 'examples.malicious_udfs:hard_crash'"
+    )
+    try:
+        db.execute("SELECT crasher(id) FROM victims")
+    except UDFCrashed as exc:
+        print(f"  contained: {exc}")
+    print(
+        "  server still answering queries:",
+        db.execute("SELECT count(*) FROM victims").scalar(), "rows",
+    )
+
+    db.close()
+    print("\nAll five attacks neutralized.")
+
+
+def hard_crash(x):
+    import os
+
+    os._exit(77)
+
+
+if __name__ == "__main__":
+    import os
+    import sys
+
+    # Make this module importable as `examples.malicious_udfs` for the
+    # isolated worker (it resolves the payload by module path).
+    sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+    main()

@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""The paper's motivating scenario (Section 1): InvestVal over stocks.
+
+    "A valid user is any amateur investor with a web browser, a credit
+    card, and an investment formula InvestVal:
+
+        SELECT * FROM Stocks S
+        WHERE S.type = 'tech' and InvestVal(S.history) > 5;"
+
+The investor's formula is untrusted code, so it runs under Design 3:
+compiled to JaguarVM bytecode, verified, and executed with quotas.  The
+optimizer places the cheap ``type = 'tech'`` predicate before the
+expensive UDF (Hellerstein's rank ordering), exactly as the paper's
+benchmark queries assume.
+
+Run:  python examples/stock_investval.py
+"""
+
+import math
+import random
+
+from repro import Database
+
+# The amateur investor's formula: annualized momentum ratio — average
+# of the last quarter vs the whole history, scaled by volatility.
+INVEST_VAL = """
+def investval(history: farr) -> float:
+    n: int = len(history)
+    if n < 8:
+        return 0.0
+    recent: float = 0.0
+    quarter: int = n // 4
+    for i in range(n - quarter, n):
+        recent = recent + history[i]
+    recent = recent / float(quarter)
+
+    total: float = 0.0
+    for i in range(n):
+        total = total + history[i]
+    mean: float = total / float(n)
+
+    var: float = 0.0
+    for i in range(n):
+        d: float = history[i] - mean
+        var = var + d * d
+    vol: float = sqrt(var / float(n))
+    if vol < 0.0001:
+        return 0.0
+    return (recent - mean) / vol * 10.0
+"""
+
+
+def price_history(seed: int, drift: float, days: int = 250) -> list:
+    rng = random.Random(seed)
+    price = 50.0
+    series = []
+    for __ in range(days):
+        price = max(1.0, price * (1.0 + drift + rng.gauss(0, 0.02)))
+        series.append(price)
+    return series
+
+
+def main() -> None:
+    db = Database()
+    db.execute(
+        "CREATE TABLE stocks (id INT, name STRING, type STRING, "
+        "history TIMESERIES)"
+    )
+    table = db.catalog.get_table("stocks")
+    rows = [
+        (1, "HOTCHIP", "tech", price_history(1, +0.004)),
+        (2, "FLATSOFT", "tech", price_history(2, 0.0)),
+        (3, "MEGAWEB", "tech", price_history(3, +0.006)),
+        (4, "SLOWOIL", "oil", price_history(4, +0.004)),
+        (5, "FADECOM", "tech", price_history(5, -0.004)),
+    ]
+    for row in rows:
+        db.insert_row(table, list(row))
+
+    # The investor registers their formula — sandboxed, with a cost
+    # hint so the optimizer knows it is expensive and fairly selective.
+    db.execute(
+        "CREATE FUNCTION investval(farr) RETURNS float "
+        "LANGUAGE JAGUAR DESIGN SANDBOX COST 2000 SELECTIVITY 0.3 "
+        f"AS '{INVEST_VAL}'"
+    )
+
+    print("the paper's query:")
+    result = db.execute(
+        "SELECT s.id, s.name, investval(s.history) AS iv FROM stocks s "
+        "WHERE s.type = 'tech' AND investval(s.history) > 5.0 "
+        "ORDER BY iv DESC"
+    )
+    for row in result:
+        print(f"  {row[0]}  {row[1]:10s}  InvestVal={row[2]:7.2f}")
+    if not result.rows:
+        print("  (no stock passed the formula today)")
+
+    # Show the formula is really confined: a runaway variant dies by
+    # fuel quota without hurting the server.
+    db.execute(
+        "CREATE FUNCTION investloop(farr) RETURNS float "
+        "LANGUAGE JAGUAR DESIGN SANDBOX FUEL 100000 AS "
+        "'def investloop(h: farr) -> float:\n"
+        "    while True:\n"
+        "        pass\n'"
+    )
+    try:
+        db.execute("SELECT investloop(history) FROM stocks")
+    except Exception as exc:
+        print(f"runaway formula stopped by the server: {type(exc).__name__}: {exc}")
+    print(
+        "server still healthy:",
+        db.execute("SELECT count(*) FROM stocks").scalar(),
+        "stocks",
+    )
+    db.close()
+
+
+if __name__ == "__main__":
+    main()

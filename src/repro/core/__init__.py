@@ -1,0 +1,1 @@
+"""The paper's contribution: secure and portable UDF extensibility."""

@@ -1,0 +1,174 @@
+"""UDF -> server callbacks (Section 4 of the paper).
+
+"Some UDFs may require additional communication with the database server.
+For example, a UDF that extracts pixel (i, j) of an image may be given a
+*handle* to the image, rather than the entire image.  The UDF will then
+need to ask the server for the appropriate data ... We call such requests
+'callbacks'."
+
+A :class:`CallbackBroker` is the server-side registry of callback
+endpoints.  Each endpoint has a VM-typed signature (so the verifier can
+link CALLBACK instructions eagerly) and a handler.  Handlers frequently
+need per-query state — e.g. which large objects the current query's
+handles refer to — so invocation goes through a :class:`CallbackBinding`
+that pairs the broker with a handle table.
+
+The paper's benchmark callback transfers no data ("No data is actually
+transferred during the callback"); that is ``cb_noop``.  The Clip()/
+Lookup() style of partial object access is ``cb_lob_read`` /
+``cb_lob_length``, which the image example uses.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from ..errors import CallbackError
+from ..vm.values import VMType
+
+Signature = Tuple[Tuple[VMType, ...], VMType]
+
+I = VMType.INT
+A = VMType.ARR
+VOID = VMType.VOID
+
+#: Signatures of the callbacks every server deployment exposes.  UDFs
+#: still need an explicit per-UDF *permission* for each one; presence in
+#: this table only makes the name linkable.
+_STANDARD_SIGNATURES: Dict[str, Signature] = {
+    # The paper's benchmark callback: crosses the boundary, moves no data.
+    "cb_noop": ((), I),
+    # Partial reads of a large object through a handle (Clip()/Lookup()).
+    "cb_lob_length": ((I,), I),
+    "cb_lob_read": ((I, I, I), A),
+}
+
+
+def standard_callback_signatures() -> Dict[str, Signature]:
+    """A copy of the standard signature table (safe to extend)."""
+    return dict(_STANDARD_SIGNATURES)
+
+
+class CallbackBroker:
+    """Server-side registry of callback endpoints.
+
+    Handlers registered here take ``(binding, *vm_args)``: the binding
+    carries per-query state (the handle table), the remaining arguments
+    are the VM values the UDF passed.
+    """
+
+    def __init__(self) -> None:
+        self._signatures: Dict[str, Signature] = {}
+        self._handlers: Dict[str, Callable] = {}
+        for name, handler in _standard_handlers().items():
+            self.register(name, _STANDARD_SIGNATURES[name], handler)
+
+    def register(
+        self, name: str, signature: Signature, handler: Callable
+    ) -> None:
+        if name in self._signatures:
+            raise CallbackError(f"callback {name!r} is already registered")
+        self._signatures[name] = signature
+        self._handlers[name] = handler
+
+    def signatures(self) -> Dict[str, Signature]:
+        return dict(self._signatures)
+
+    def handler(self, name: str) -> Callable:
+        try:
+            return self._handlers[name]
+        except KeyError:
+            raise CallbackError(f"unknown callback {name!r}") from None
+
+    def bind(self, handles: Optional[Dict[int, object]] = None) -> "CallbackBinding":
+        """Create a per-query binding with its own handle table."""
+        return CallbackBinding(self, handles or {})
+
+
+class CallbackBinding:
+    """Per-query callback state: a broker plus a handle table.
+
+    ``as_handlers`` adapts the binding to the plain ``name -> callable``
+    dict the VM execution context consumes.
+    """
+
+    def __init__(self, broker: CallbackBroker, handles: Dict[int, object]):
+        self.broker = broker
+        self.handles = handles
+        #: Counts per callback name; lets experiments confirm how often
+        #: the boundary was crossed.
+        self.invocations: Dict[str, int] = {}
+
+    def add_handle(self, handle: int, target: object) -> None:
+        self.handles[handle] = target
+
+    def resolve_handle(self, handle: int) -> object:
+        try:
+            return self.handles[handle]
+        except KeyError:
+            raise CallbackError(f"unknown object handle {handle}") from None
+
+    def invoke(self, name: str, *args):
+        handler = self.broker.handler(name)
+        self.invocations[name] = self.invocations.get(name, 0) + 1
+        return handler(self, *args)
+
+    def as_handlers(self) -> Dict[str, Callable]:
+        def make(name: str) -> Callable:
+            def call(*args):
+                return self.invoke(name, *args)
+
+            return call
+
+        return {name: make(name) for name in self.broker.signatures()}
+
+
+# ---------------------------------------------------------------------------
+# Standard handlers
+# ---------------------------------------------------------------------------
+
+def _cb_noop(binding: CallbackBinding) -> int:
+    return 0
+
+
+def _cb_lob_length(binding: CallbackBinding, handle: int) -> int:
+    target = binding.resolve_handle(handle)
+    return _lob_length(target)
+
+
+def _cb_lob_read(
+    binding: CallbackBinding, handle: int, offset: int, length: int
+) -> bytearray:
+    target = binding.resolve_handle(handle)
+    if length < 0 or offset < 0:
+        raise CallbackError("negative offset/length in cb_lob_read")
+    return _lob_read(target, offset, length)
+
+
+def _lob_length(target: object) -> int:
+    if isinstance(target, (bytes, bytearray, memoryview)):
+        return len(target)
+    read_range = getattr(target, "length", None)
+    if callable(read_range):
+        return target.length()
+    raise CallbackError(f"handle target {type(target).__name__} has no length")
+
+
+def _lob_read(target: object, offset: int, length: int) -> bytearray:
+    if isinstance(target, (bytes, bytearray, memoryview)):
+        end = min(offset + length, len(target))
+        return bytearray(target[offset:end])
+    read_range = getattr(target, "read_range", None)
+    if callable(read_range):
+        return bytearray(target.read_range(offset, length))
+    raise CallbackError(
+        f"handle target {type(target).__name__} is not readable"
+    )
+
+
+def _standard_handlers() -> Dict[str, Callable]:
+    return {
+        "cb_noop": _cb_noop,
+        "cb_lob_length": _cb_lob_length,
+        "cb_lob_read": _cb_lob_read,
+    }

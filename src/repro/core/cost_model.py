@@ -1,0 +1,153 @@
+"""Per-design UDF cost model (Section 5.6).
+
+"In fact, our experiments can help model the behavior of any UDF by
+splitting the work of the UDF into different components."  This module
+makes that sentence executable: a UDF invocation under design *D* costs
+
+    T(D) = c_invoke
+         + c_indep   * NumDataIndepComps
+         + c_dep     * NumDataDepComps * bytes
+         + c_callback * NumCallbacks
+         + c_data    * bytes                      (argument transfer)
+
+The coefficients are fitted by least squares from calibration samples
+(the same measurements Figures 4-8 produce).  The fitted model feeds two
+consumers: the optimizer's expensive-predicate ranking, and the
+"which design should this UDF use?" advisor in the benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from .designs import Design
+
+#: One calibration observation:
+#: (bytes, num_indep, num_dep, num_callbacks, seconds_per_invocation)
+Sample = Tuple[int, int, int, int, float]
+
+_COEFFICIENTS = ("invoke", "indep", "dep_byte", "callback", "data_byte")
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Fitted per-invocation cost model for one design."""
+
+    design: Design
+    invoke: float
+    indep: float
+    dep_byte: float
+    callback: float
+    data_byte: float
+
+    def predict(
+        self, nbytes: int, num_indep: int, num_dep: int, num_callbacks: int
+    ) -> float:
+        """Predicted seconds for one invocation."""
+        return (
+            self.invoke
+            + self.indep * num_indep
+            + self.dep_byte * num_dep * nbytes
+            + self.callback * num_callbacks
+            + self.data_byte * nbytes
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "invoke": self.invoke,
+            "indep": self.indep,
+            "dep_byte": self.dep_byte,
+            "callback": self.callback,
+            "data_byte": self.data_byte,
+        }
+
+
+def fit_cost_model(design: Design, samples: Sequence[Sample]) -> CostModel:
+    """Least-squares fit of the five coefficients from samples.
+
+    Uses numpy when available; falls back to a tiny normal-equations
+    solver otherwise so the core library carries no hard dependency.
+    Coefficients are clamped at zero (a negative cost is noise).
+    """
+    if len(samples) < len(_COEFFICIENTS):
+        raise ValueError(
+            f"need at least {len(_COEFFICIENTS)} samples, got {len(samples)}"
+        )
+    rows = [
+        [1.0, ni, nd * nb, nc, float(nb)]
+        for nb, ni, nd, nc, __ in samples
+    ]
+    times = [t for *_rest, t in samples]
+    coefficients = _least_squares(rows, times)
+    coefficients = [max(c, 0.0) for c in coefficients]
+    return CostModel(design, *coefficients)
+
+
+def _least_squares(rows: List[List[float]], times: List[float]) -> List[float]:
+    try:
+        import numpy
+    except ImportError:
+        return _normal_equations(rows, times)
+    solution, *__ = numpy.linalg.lstsq(
+        numpy.asarray(rows), numpy.asarray(times), rcond=None
+    )
+    return [float(x) for x in solution]
+
+
+def _normal_equations(rows: List[List[float]], times: List[float]) -> List[float]:
+    """Solve (AᵀA)x = Aᵀb by Gaussian elimination with a ridge term."""
+    n = len(rows[0])
+    ata = [[0.0] * n for __ in range(n)]
+    atb = [0.0] * n
+    for row, t in zip(rows, times):
+        for i in range(n):
+            atb[i] += row[i] * t
+            for j in range(n):
+                ata[i][j] += row[i] * row[j]
+    for i in range(n):
+        ata[i][i] += 1e-12  # ridge: keep the system nonsingular
+    # Gaussian elimination with partial pivoting.
+    for col in range(n):
+        pivot = max(range(col, n), key=lambda r: abs(ata[r][col]))
+        ata[col], ata[pivot] = ata[pivot], ata[col]
+        atb[col], atb[pivot] = atb[pivot], atb[col]
+        scale = ata[col][col]
+        for row in range(col + 1, n):
+            factor = ata[row][col] / scale
+            for k in range(col, n):
+                ata[row][k] -= factor * ata[col][k]
+            atb[row] -= factor * atb[col]
+    solution = [0.0] * n
+    for row in range(n - 1, -1, -1):
+        acc = atb[row]
+        for k in range(row + 1, n):
+            acc -= ata[row][k] * solution[k]
+        solution[row] = acc / ata[row][row]
+    return solution
+
+
+def recommend_design(
+    models: Dict[Design, CostModel],
+    nbytes: int,
+    num_indep: int,
+    num_dep: int,
+    num_callbacks: int,
+    require_safety: bool = True,
+) -> Tuple[Design, float]:
+    """Cheapest design for the given workload shape.
+
+    With ``require_safety`` (the web-deployment scenario of the paper's
+    introduction) Design 1 and the SFI variant are excluded: they do not
+    contain crashes.
+    """
+    best: Tuple[Design, float] = (None, float("inf"))  # type: ignore
+    for design, model in models.items():
+        if require_safety and not design.is_isolated and not design.is_sandboxed:
+            continue
+        cost = model.predict(nbytes, num_indep, num_dep, num_callbacks)
+        if cost < best[1]:
+            best = (design, cost)
+    if best[0] is None:
+        raise ValueError("no admissible design in the model set")
+    return best

@@ -1,0 +1,116 @@
+"""The server-side UDF design space (Table 1 of the paper).
+
+==========  ============  =========  ===========================
+Design      language      process    paper label / our analog
+==========  ============  =========  ===========================
+Design 1    native        same       ``C++``   — Python callable in-process
+(variant)   native+SFI    same       bounds-checked C++ (Section 5.4)
+Design 2    native        isolated   ``IC++``  — remote executor process
+Design 3    safe (VM)     same       ``JNI``   — JaguarVM with JIT
+(variant)   safe (VM)     same       JVM without JIT (interpreter)
+Design 4    safe (VM)     isolated   extrapolated in the paper; built here
+==========  ============  =========  ===========================
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List
+
+
+class Design(enum.Enum):
+    """Where and how a UDF executes."""
+
+    NATIVE_INTEGRATED = "native_integrated"    # Design 1, "C++"
+    NATIVE_SFI = "native_sfi"                  # Design 1 + SFI-style checks
+    NATIVE_ISOLATED = "native_isolated"        # Design 2, "IC++"
+    SANDBOX_JIT = "sandbox_jit"                # Design 3, "JNI" (JIT on)
+    SANDBOX_INTERP = "sandbox_interp"          # Design 3 without JIT
+    SANDBOX_ISOLATED = "sandbox_isolated"      # Design 4
+
+    @property
+    def paper_label(self) -> str:
+        return _PAPER_LABELS[self]
+
+    @property
+    def is_isolated(self) -> bool:
+        """True when the UDF runs outside the server process."""
+        return self in (Design.NATIVE_ISOLATED, Design.SANDBOX_ISOLATED)
+
+    @property
+    def is_sandboxed(self) -> bool:
+        """True when the UDF runs under the JaguarVM sandbox."""
+        return self in (
+            Design.SANDBOX_JIT,
+            Design.SANDBOX_INTERP,
+            Design.SANDBOX_ISOLATED,
+        )
+
+    @property
+    def language(self) -> str:
+        return "jaguar" if self.is_sandboxed else "native"
+
+
+_PAPER_LABELS = {
+    Design.NATIVE_INTEGRATED: "C++",
+    Design.NATIVE_SFI: "C++/bounds",
+    Design.NATIVE_ISOLATED: "IC++",
+    Design.SANDBOX_JIT: "JNI",
+    Design.SANDBOX_INTERP: "JNI/nojit",
+    Design.SANDBOX_ISOLATED: "IJNI",
+}
+
+
+@dataclass(frozen=True)
+class DesignProperties:
+    """Qualitative properties for the Table 1 comparison."""
+
+    design: Design
+    crash_contained: bool       # a crashing UDF cannot take down the server
+    memory_safe: bool           # UDF cannot scribble over server memory
+    resources_policed: bool     # CPU/memory quotas enforced (Section 6.2)
+    portable: bool              # same payload runs on any client/server
+    boundary_cost: str          # per-invocation boundary characterization
+
+
+def design_space() -> List[DesignProperties]:
+    """The qualitative design-space table (regenerates Table 1)."""
+    return [
+        DesignProperties(
+            Design.NATIVE_INTEGRATED,
+            crash_contained=False, memory_safe=False,
+            resources_policed=False, portable=False,
+            boundary_cost="none (direct call)",
+        ),
+        DesignProperties(
+            Design.NATIVE_SFI,
+            crash_contained=False, memory_safe=True,
+            resources_policed=False, portable=False,
+            boundary_cost="guarded buffer wrapping",
+        ),
+        DesignProperties(
+            Design.NATIVE_ISOLATED,
+            crash_contained=True, memory_safe=True,
+            resources_policed=False, portable=False,
+            boundary_cost="shared memory copy + semaphore hand-off",
+        ),
+        DesignProperties(
+            Design.SANDBOX_JIT,
+            crash_contained=True, memory_safe=True,
+            resources_policed=True, portable=True,
+            boundary_cost="argument marshalling (JNI analog)",
+        ),
+        DesignProperties(
+            Design.SANDBOX_INTERP,
+            crash_contained=True, memory_safe=True,
+            resources_policed=True, portable=True,
+            boundary_cost="argument marshalling (JNI analog)",
+        ),
+        DesignProperties(
+            Design.SANDBOX_ISOLATED,
+            crash_contained=True, memory_safe=True,
+            resources_policed=True, portable=True,
+            boundary_cost="shared memory copy + semaphore hand-off",
+        ),
+    ]

@@ -1,0 +1,111 @@
+"""Executor interface and per-design construction.
+
+``make_executor`` is the single switch over Table 1: it maps a
+:class:`~repro.core.udf.UDFDefinition` to the executor implementing its
+design.  ``validate_definition`` runs the load-time checks (compile /
+verify / import) so registration fails fast.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional, Sequence
+
+from ..errors import UDFRegistrationError
+from .callbacks import CallbackBinding
+from .designs import Design
+from .udf import ServerEnvironment, UDFDefinition, resolve_native_payload
+
+
+class UDFExecutor(abc.ABC):
+    """Runs invocations of one UDF for one query at a time.
+
+    Lifecycle::
+
+        executor = registry.executor_for_query(name)
+        executor.begin_query(binding)
+        for tuple in ...:
+            executor.invoke(args)
+        executor.end_query()      # isolated designs tear down here
+
+    ``close`` releases everything (shared executors are closed when the
+    registry shuts down).
+    """
+
+    def __init__(self, definition: UDFDefinition, env: ServerEnvironment):
+        self.definition = definition
+        self.env = env
+        self.binding: Optional[CallbackBinding] = None
+
+    @property
+    def design(self) -> Design:
+        return self.definition.design
+
+    def begin_query(self, binding: Optional[CallbackBinding] = None) -> None:
+        self.binding = binding if binding is not None else self.env.broker.bind()
+
+    @abc.abstractmethod
+    def invoke(self, args: Sequence[object]) -> object:
+        """Run the UDF once.  ``args`` are SQL values."""
+
+    def end_query(self) -> None:
+        self.binding = None
+
+    def close(self) -> None:
+        self.end_query()
+
+    def __enter__(self) -> "UDFExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def make_executor(
+    definition: UDFDefinition, env: ServerEnvironment
+) -> UDFExecutor:
+    """Build the executor implementing ``definition.design``."""
+    from .integrated import NativeIntegratedExecutor
+    from .isolated import RemoteExecutor
+    from .sandbox import SandboxExecutor
+    from .sfi import SFIExecutor
+
+    design = definition.design
+    if design is Design.NATIVE_INTEGRATED:
+        return NativeIntegratedExecutor(definition, env)
+    if design is Design.NATIVE_SFI:
+        return SFIExecutor(definition, env)
+    if design is Design.NATIVE_ISOLATED:
+        return RemoteExecutor(definition, env)
+    if design is Design.SANDBOX_JIT:
+        return SandboxExecutor(definition, env, use_jit=True)
+    if design is Design.SANDBOX_INTERP:
+        return SandboxExecutor(definition, env, use_jit=False)
+    if design is Design.SANDBOX_ISOLATED:
+        return RemoteExecutor(definition, env)
+    raise UDFRegistrationError(f"no executor for design {design}")
+
+
+def validate_definition(
+    definition: UDFDefinition, env: ServerEnvironment
+) -> None:
+    """Registration-time checks: fail at CREATE FUNCTION, not mid-query."""
+    if definition.design.is_sandboxed:
+        from .sandbox import load_sandbox_payload
+
+        # Decoding + verification happens here; a malformed or unsafe
+        # classfile never reaches the catalog.
+        load_sandbox_payload(definition, env, probe_only=True)
+    else:
+        func = resolve_native_payload(definition.payload)
+        nparams = len(definition.signature.param_types)
+        code = getattr(func, "__code__", None)
+        if code is not None:
+            declared = code.co_argcount
+            takes_ctx = declared > 0 and code.co_varnames[0] == "ctx"
+            expected = nparams + (1 if takes_ctx else 0)
+            if declared != expected:
+                raise UDFRegistrationError(
+                    f"native UDF {definition.name!r} declares {declared} "
+                    f"parameters, signature has {nparams}"
+                )

@@ -1,0 +1,68 @@
+"""Design 1: native UDFs integrated into the server process ("C++").
+
+"Clearly, Design 1 will have the best performance of all the options
+since it essentially corresponds to hard-coding the UDF into the server.
+However ... system security might be compromised."
+
+The executor is a direct call.  Callbacks do not cross any boundary: the
+UDF receives a context whose ``callback`` goes straight to the broker —
+the reason Figure 8's C++ line stays flat.
+
+The security consequences are faithfully reproduced too: an exception
+escapes into the server thread, and a malicious callable can reach any
+server state it can import.  (Tests demonstrate both.)
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from .factory import UDFExecutor
+from .udf import ServerEnvironment, UDFDefinition, resolve_native_payload
+
+
+class NativeUDFContext:
+    """What an in-process native UDF gets to see.
+
+    Deliberately *not* a security boundary: Design 1 trusts the UDF.
+    The context is a convenience handle for callbacks, matching how a
+    C++ UDF would simply call into server functions.
+    """
+
+    __slots__ = ("_binding",)
+
+    def __init__(self, binding):
+        self._binding = binding
+
+    def callback(self, name: str, *args):
+        return self._binding.invoke(name, *args)
+
+
+class NativeIntegratedExecutor(UDFExecutor):
+    """Direct in-process invocation of a host callable."""
+
+    def __init__(self, definition: UDFDefinition, env: ServerEnvironment):
+        super().__init__(definition, env)
+        self._func: Callable = resolve_native_payload(definition.payload)
+        code = getattr(self._func, "__code__", None)
+        self._takes_ctx = bool(
+            code is not None
+            and code.co_argcount > 0
+            and code.co_varnames[0] == "ctx"
+        )
+        self._ctx: Optional[NativeUDFContext] = None
+
+    def begin_query(self, binding=None) -> None:
+        super().begin_query(binding)
+        self._ctx = NativeUDFContext(self.binding)
+
+    def invoke(self, args: Sequence[object]) -> object:
+        if self.binding is None:
+            self.begin_query()
+        if self._takes_ctx:
+            return self._func(self._ctx, *args)
+        return self._func(*args)
+
+    def end_query(self) -> None:
+        super().end_query()
+        self._ctx = None

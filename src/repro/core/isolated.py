@@ -1,0 +1,406 @@
+"""Designs 2 and 4: UDFs in an isolated executor process.
+
+Section 4.1, transliterated:
+
+* "one remote executor process is assigned to each UDF in the query ...
+  created once per query (not once per function invocation)" — the
+  registry builds a fresh :class:`RemoteExecutor` per query;
+* "Communication between the server and the remote executors happens
+  through shared memory.  The server copies the function arguments into
+  shared memory, and 'sends' a request by releasing a semaphore.  The
+  remote executor, which was blocked trying to acquire the semaphore,
+  now executes the function and places the results back into shared
+  memory.  The hand-off for callback requests and for the final answer
+  return also occur through a semaphore in shared memory." — the
+  :class:`_ShmChannel` below implements exactly this, with chunking so
+  payloads larger than the buffer still flow through it (each chunk is
+  one more copy + semaphore hand-off, so the cost grows with data size,
+  as the paper expects);
+* crashes are contained: if the worker dies, the server raises
+  :class:`~repro.errors.UDFCrashed` and keeps serving.
+
+Design 4 (the paper extrapolates it; we build it) runs a JaguarVM
+*inside* the worker, so the UDF gets both process isolation and the
+sandbox's verification/quotas; its callbacks pay the process-boundary
+price, which is what makes Design 4 ≈ Design 2 + Design 3 measurable.
+
+Marshalling uses :mod:`pickle` restricted to primitive SQL values (see
+``_dumps``/``_loads``) — the analog of PREDATOR copying raw argument
+bytes into the segment.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import struct
+from typing import Optional, Sequence, Tuple
+
+from ..errors import CallbackError, UDFCrashed, UDFInvocationError, VMError
+from .designs import Design
+from .factory import UDFExecutor
+from .udf import ServerEnvironment, UDFDefinition, resolve_native_payload
+
+_HEADER = struct.Struct("<BII")  # msg type, total length, chunk length
+DEFAULT_BUFFER = 256 * 1024
+_POLL_INTERVAL = 0.05
+_STARTUP_TIMEOUT = 30.0
+
+MSG_READY = 1
+MSG_INVOKE = 2
+MSG_RESULT = 3
+MSG_CALLBACK = 4
+MSG_CB_REPLY = 5
+MSG_ERROR = 6
+MSG_SHUTDOWN = 7
+
+
+def _dumps(value: object) -> bytes:
+    return pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def _loads(data: bytes) -> object:
+    return pickle.loads(data)
+
+
+class _ShmChannel:
+    """Half-duplex chunked messaging over one shared-memory buffer.
+
+    Four semaphores: data-ready and chunk-ack in each direction.  The
+    protocol strictly alternates (request, then response), mirroring the
+    paper's hand-off description.
+    """
+
+    def __init__(self, buffer, s2w_ready, s2w_ack, w2s_ready, w2s_ack):
+        self.buffer = buffer
+        self.s2w_ready = s2w_ready
+        self.s2w_ack = s2w_ack
+        self.w2s_ready = w2s_ready
+        self.w2s_ack = w2s_ack
+        self.max_chunk = len(buffer) - _HEADER.size
+
+    # -- direction-agnostic primitives ---------------------------------------
+
+    def _send(self, ready, ack, msg_type: int, payload: bytes) -> None:
+        total = len(payload)
+        offset = 0
+        first = True
+        while first or offset < total:
+            if not first:
+                ack.acquire()  # receiver consumed the previous chunk
+            chunk = payload[offset:offset + self.max_chunk]
+            _HEADER.pack_into(self.buffer, 0, msg_type, total, len(chunk))
+            self.buffer[_HEADER.size:_HEADER.size + len(chunk)] = chunk
+            ready.release()
+            offset += len(chunk)
+            first = False
+
+    def _recv(self, ready, ack, alive_check=None) -> Tuple[int, bytes]:
+        self._acquire(ready, alive_check)
+        msg_type, total, chunk_len = _HEADER.unpack_from(self.buffer, 0)
+        data = bytearray(
+            self.buffer[_HEADER.size:_HEADER.size + chunk_len]
+        )
+        while len(data) < total:
+            ack.release()
+            self._acquire(ready, alive_check)
+            __, __, chunk_len = _HEADER.unpack_from(self.buffer, 0)
+            data += self.buffer[_HEADER.size:_HEADER.size + chunk_len]
+        return msg_type, bytes(data)
+
+    @staticmethod
+    def _acquire(semaphore, alive_check) -> None:
+        if alive_check is None:
+            semaphore.acquire()
+            return
+        while not semaphore.acquire(timeout=_POLL_INTERVAL):
+            if not alive_check():
+                raise UDFCrashed(
+                    "remote UDF executor process died; the server survives"
+                )
+
+    # -- server side --------------------------------------------------------------
+
+    def server_send(self, msg_type: int, payload: bytes) -> None:
+        self._send(self.s2w_ready, self.s2w_ack, msg_type, payload)
+
+    def server_recv(self, alive_check) -> Tuple[int, bytes]:
+        return self._recv(self.w2s_ready, self.w2s_ack, alive_check)
+
+    # -- worker side ----------------------------------------------------------------
+
+    def worker_send(self, msg_type: int, payload: bytes) -> None:
+        self._send(self.w2s_ready, self.w2s_ack, msg_type, payload)
+
+    def worker_recv(self) -> Tuple[int, bytes]:
+        return self._recv(self.s2w_ready, self.s2w_ack)
+
+
+class RemoteExecutor(UDFExecutor):
+    """Per-query remote executor process (Design 2 / Design 4)."""
+
+    def __init__(
+        self,
+        definition: UDFDefinition,
+        env: ServerEnvironment,
+        buffer_size: int = DEFAULT_BUFFER,
+    ):
+        super().__init__(definition, env)
+        if definition.design.is_sandboxed:
+            worker_payload = (
+                "jaguar",
+                bytes(self._sandbox_classfile_bytes(definition, env)),
+                definition.entry,
+                tuple(definition.callbacks),
+                definition.fuel,
+                definition.memory,
+                definition.design is not Design.SANDBOX_INTERP,
+            )
+        else:
+            # Validate importability in the server before shipping the
+            # module path to the worker.
+            resolve_native_payload(definition.payload)
+            worker_payload = ("native", bytes(definition.payload))
+
+        mp = multiprocessing.get_context(_start_method())
+        self._array = mp.Array("B", buffer_size, lock=False)
+        self._channel = _ShmChannel(
+            memoryview(self._array).cast("B"),
+            mp.Semaphore(0), mp.Semaphore(0),
+            mp.Semaphore(0), mp.Semaphore(0),
+        )
+        self._process = mp.Process(
+            target=_worker_main,
+            args=(
+                self._array,
+                self._channel.s2w_ready, self._channel.s2w_ack,
+                self._channel.w2s_ready, self._channel.w2s_ack,
+                _dumps(worker_payload),
+            ),
+            daemon=True,
+            name=f"udf-executor-{definition.name}",
+        )
+        self._process.start()
+        msg_type, startup_payload = self._channel.server_recv(self._alive)
+        if msg_type == MSG_ERROR:
+            self.close()
+            raise _reraise(startup_payload, definition.name)
+        if msg_type != MSG_READY:
+            self.close()
+            raise UDFInvocationError(
+                f"remote executor for {definition.name!r} failed to start"
+            )
+
+    @staticmethod
+    def _sandbox_classfile_bytes(
+        definition: UDFDefinition, env: ServerEnvironment
+    ) -> bytes:
+        from ..vm.classfile import MAGIC
+        from .sandbox import compile_udf_source
+
+        if definition.payload[:4] == MAGIC:
+            return definition.payload
+        source = definition.payload.decode("utf-8")
+        cls = compile_udf_source(source, f"udf_{definition.name}", env)
+        return cls.to_bytes()
+
+    def _alive(self) -> bool:
+        return self._process is not None and self._process.is_alive()
+
+    # -- invocation ------------------------------------------------------------
+
+    def invoke(self, args: Sequence[object]) -> object:
+        if self.binding is None:
+            self.begin_query()
+        if self._process is None:
+            raise UDFInvocationError("remote executor is closed")
+        channel = self._channel
+        channel.server_send(MSG_INVOKE, _dumps(tuple(args)))
+        while True:
+            msg_type, payload = channel.server_recv(self._alive)
+            if msg_type == MSG_RESULT:
+                return _loads(payload)
+            if msg_type == MSG_CALLBACK:
+                name, cb_args = _loads(payload)
+                try:
+                    reply = self.binding.invoke(name, *cb_args)
+                    channel.server_send(MSG_CB_REPLY, _dumps(reply))
+                except Exception as exc:  # callback failed: tell the UDF
+                    channel.server_send(MSG_ERROR, _dumps(_shippable(exc)))
+            elif msg_type == MSG_ERROR:
+                raise _reraise(payload, self.definition.name)
+            else:
+                raise UDFInvocationError(
+                    f"unexpected message type {msg_type} from executor"
+                )
+
+    # -- teardown ----------------------------------------------------------------
+
+    def end_query(self) -> None:
+        super().end_query()
+        self.close()
+
+    def close(self) -> None:
+        process = self._process
+        if process is None:
+            return
+        self._process = None
+        try:
+            if process.is_alive():
+                self._channel.server_send(MSG_SHUTDOWN, b"")
+                process.join(timeout=1.0)
+        except Exception:
+            pass
+        if process.is_alive():
+            process.terminate()
+            process.join(timeout=1.0)
+        self.binding = None
+
+
+def _start_method() -> str:
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else "spawn"
+
+
+def _shippable(exc: Exception) -> Exception:
+    """Ensure an exception survives pickling across the boundary."""
+    try:
+        pickle.loads(pickle.dumps(exc))
+        return exc
+    except Exception:
+        return UDFInvocationError(f"{type(exc).__name__}: {exc}")
+
+
+def _reraise(payload: bytes, udf_name: str) -> Exception:
+    try:
+        exc = _loads(payload)
+    except Exception:
+        return UDFInvocationError(
+            f"UDF {udf_name!r} failed remotely (unreadable error)"
+        )
+    if isinstance(exc, Exception):
+        return exc
+    return UDFInvocationError(f"UDF {udf_name!r} failed remotely: {exc}")
+
+
+# ---------------------------------------------------------------------------
+# Worker process
+# ---------------------------------------------------------------------------
+
+class _RemoteCallbackPort:
+    """Worker-side callback dispatch: every call crosses the boundary.
+
+    This is the per-callback cost Figure 8 measures for IC++: a shared
+    memory round trip (two copies, two semaphore hand-offs) per request.
+    """
+
+    def __init__(self, channel: _ShmChannel):
+        self.channel = channel
+
+    def invoke(self, name: str, args: tuple) -> object:
+        self.channel.worker_send(MSG_CALLBACK, _dumps((name, args)))
+        msg_type, payload = self.channel.worker_recv()
+        if msg_type == MSG_CB_REPLY:
+            return _loads(payload)
+        if msg_type == MSG_ERROR:
+            raise _reraise(payload, "<callback>")
+        raise CallbackError(f"unexpected reply type {msg_type} to callback")
+
+
+class _WorkerNativeContext:
+    """The ``ctx`` argument given to native UDFs running remotely."""
+
+    __slots__ = ("_port",)
+
+    def __init__(self, port: _RemoteCallbackPort):
+        self._port = port
+
+    def callback(self, name: str, *args):
+        return self._port.invoke(name, args)
+
+
+def _worker_main(array, s2w_ready, s2w_ack, w2s_ready, w2s_ack,
+                 payload_blob: bytes) -> None:
+    channel = _ShmChannel(
+        memoryview(array).cast("B"), s2w_ready, s2w_ack, w2s_ready, w2s_ack
+    )
+    port = _RemoteCallbackPort(channel)
+    try:
+        invoke = _build_worker_invoker(_loads(payload_blob), port)
+    except Exception as exc:
+        channel.worker_send(MSG_ERROR, _dumps(_shippable(exc)))
+        return
+    channel.worker_send(MSG_READY, b"")
+    while True:
+        msg_type, payload = channel.worker_recv()
+        if msg_type == MSG_SHUTDOWN:
+            return
+        if msg_type != MSG_INVOKE:
+            channel.worker_send(
+                MSG_ERROR,
+                _dumps(UDFInvocationError(f"unexpected message {msg_type}")),
+            )
+            continue
+        try:
+            args = _loads(payload)
+            result = invoke(args)
+        except Exception as exc:
+            channel.worker_send(MSG_ERROR, _dumps(_shippable(exc)))
+            continue
+        channel.worker_send(MSG_RESULT, _dumps(result))
+
+
+def _build_worker_invoker(worker_payload: tuple, port: _RemoteCallbackPort):
+    kind = worker_payload[0]
+    if kind == "native":
+        func = resolve_native_payload(worker_payload[1])
+        code = getattr(func, "__code__", None)
+        takes_ctx = bool(
+            code is not None
+            and code.co_argcount > 0
+            and code.co_varnames[0] == "ctx"
+        )
+        ctx = _WorkerNativeContext(port)
+        if takes_ctx:
+            return lambda args: func(ctx, *args)
+        return lambda args: func(*args)
+
+    if kind == "jaguar":
+        __, class_bytes, entry, callbacks, fuel, memory, use_jit = worker_payload
+        from ..vm.machine import JaguarVM
+        from ..vm.resources import DEFAULT_FUEL, DEFAULT_MEMORY
+        from ..vm.security import Permissions
+        from .callbacks import standard_callback_signatures
+
+        vm = JaguarVM(
+            callback_signatures=standard_callback_signatures(),
+            use_jit=use_jit,
+        )
+        handlers = {
+            name: _make_remote_handler(port, name)
+            for name in standard_callback_signatures()
+        }
+        loaded = vm.load_udf(
+            name="remote",
+            classfiles=[class_bytes],
+            permissions=Permissions(callbacks=frozenset(callbacks)),
+            callbacks=handlers,
+            fuel=fuel or DEFAULT_FUEL,
+            memory=memory or DEFAULT_MEMORY,
+        )
+        context = loaded.make_context()
+
+        def invoke(args):
+            context.account.reset()
+            return loaded.invoke(entry, args, context=context)
+
+        return invoke
+
+    raise UDFInvocationError(f"unknown worker payload kind {kind!r}")
+
+
+def _make_remote_handler(port: _RemoteCallbackPort, name: str):
+    def handler(*args):
+        return port.invoke(name, args)
+
+    return handler

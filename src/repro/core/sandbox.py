@@ -1,0 +1,169 @@
+"""Design 3: sandboxed (JaguarVM) UDFs inside the server process ("JNI").
+
+The paper's Section 4.2 implementation, transliterated:
+
+* "a single JVM is created when the database server starts up" — the
+  server owns one :class:`~repro.vm.machine.JaguarVM`;
+* "each Java UDF is packaged as a method within its own class ... the
+  corresponding class is loaded once for the whole query execution" —
+  the classfile is loaded (decoded, verified, linked into an isolated
+  class loader) at registration, and one execution context is reused
+  across a query's invocations;
+* "parameters that need to be passed must first be mapped to Java
+  objects" — argument marshalling through
+  :func:`~repro.vm.values.coerce_argument` copies byte arrays at the
+  boundary, the impedance-mismatch cost Figure 5 measures at large
+  payloads;
+* "callbacks from the Java UDF to the server occur through the 'native
+  method' feature" — CALLBACK instructions dispatch through the security
+  manager to the broker.
+
+The UDF payload may be JagScript source (compiled here) or classfile
+bytes (a client-compiled, migrated UDF); either way the bytes are
+verified before the catalog accepts them.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..errors import UDFRegistrationError
+from ..vm.classfile import MAGIC, ClassFile
+from ..vm.compiler import compile_source
+from ..vm.machine import LoadedUDF
+from ..vm.resources import DEFAULT_FUEL, DEFAULT_MEMORY
+from ..vm.security import Permissions
+from .factory import UDFExecutor
+from .udf import ServerEnvironment, UDFDefinition
+
+
+def compile_udf_source(
+    source: str, class_name: str, env: ServerEnvironment
+) -> ClassFile:
+    """Compile JagScript with the server's callback signatures visible."""
+    return compile_source(
+        source, class_name, callbacks=env.broker.signatures()
+    )
+
+
+def load_sandbox_payload(
+    definition: UDFDefinition,
+    env: ServerEnvironment,
+    probe_only: bool = False,
+) -> Optional[LoadedUDF]:
+    """Turn a sandbox payload into a loaded (verified) UDF.
+
+    ``probe_only`` runs the full pipeline and then unloads — used at
+    registration time to reject bad payloads without keeping state.
+    """
+    payload = definition.payload
+    class_name = f"udf_{definition.name}"
+    if payload[:4] == MAGIC:
+        classfile: object = bytes(payload)  # hostile path: decode+verify
+    else:
+        try:
+            source = payload.decode("utf-8")
+        except UnicodeDecodeError:
+            raise UDFRegistrationError(
+                f"UDF {definition.name!r}: payload is neither a classfile "
+                f"nor utf-8 source"
+            ) from None
+        classfile = compile_udf_source(source, class_name, env)
+
+    vm = env.vm
+    load_name = definition.name.lower()
+    if probe_only:
+        load_name = f"__probe_{load_name}"
+    loaded = vm.load_udf(
+        name=load_name,
+        classfiles=[classfile],
+        permissions=Permissions(callbacks=frozenset(definition.callbacks)),
+        fuel=definition.fuel or DEFAULT_FUEL,
+        memory=definition.memory or DEFAULT_MEMORY,
+    )
+    entry = definition.entry
+    func = loaded.main_class.functions.get(entry)
+    if func is None:
+        vm.unload_udf(load_name)
+        raise UDFRegistrationError(
+            f"UDF {definition.name!r}: payload defines no function "
+            f"{entry!r}"
+        )
+    want_params = definition.signature.vm_param_types()
+    want_ret = definition.signature.vm_ret_type()
+    if func.param_types != want_params or func.ret_type is not want_ret:
+        vm.unload_udf(load_name)
+        raise UDFRegistrationError(
+            f"UDF {definition.name!r}: entry signature "
+            f"{[t.value for t in func.param_types]} -> "
+            f"{func.ret_type.value} does not match declaration "
+            f"{list(definition.signature.param_types)} -> "
+            f"{definition.signature.ret_type}"
+        )
+    if probe_only:
+        vm.unload_udf(load_name)
+        return None
+    return loaded
+
+
+class SandboxExecutor(UDFExecutor):
+    """In-process JaguarVM execution (with or without the JIT)."""
+
+    def __init__(
+        self,
+        definition: UDFDefinition,
+        env: ServerEnvironment,
+        use_jit: bool = True,
+    ):
+        super().__init__(definition, env)
+        vm = env.vm
+        existing = vm.loaded_udfs.get(definition.name.lower())
+        self._loaded = existing or load_sandbox_payload(definition, env)
+        self._use_jit = use_jit
+        self._context = None
+
+    def begin_query(self, binding=None) -> None:
+        super().begin_query(binding)
+        # One context (and one resource account) per query: quota limits
+        # then bound the query's total sandbox work, and per-invocation
+        # setup stays off the per-tuple path, as in the paper.
+        self._context = self._loaded.make_context(
+            callbacks=self.binding.as_handlers()
+        )
+        registry = self.env.thread_groups
+        if registry is not None:
+            # Join the UDF's thread group: if the DBA kills the group,
+            # this query's account is revoked and the UDF dies at its
+            # next fuel check.
+            registry.group_for(self.definition.name.lower()).adopt_account(
+                self._context.account
+            )
+
+    def invoke(self, args: Sequence[object]) -> object:
+        if self._context is None:
+            self.begin_query()
+        self._context.account.reset()  # the quota is per invocation
+        loaded = self._loaded
+        saved = loaded.use_jit
+        loaded.use_jit = self._use_jit
+        try:
+            return loaded.invoke(
+                self.definition.entry, args, context=self._context
+            )
+        finally:
+            loaded.use_jit = saved
+
+    def end_query(self) -> None:
+        super().end_query()
+        self._context = None
+
+    def close(self) -> None:
+        super().close()
+        self.env.vm.unload_udf(self.definition.name.lower())
+
+    @property
+    def resource_snapshot(self) -> Optional[dict]:
+        """Usage of the current query's account (auditing aid)."""
+        if self._context is None:
+            return None
+        return self._context.account.snapshot()

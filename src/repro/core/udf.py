@@ -1,0 +1,216 @@
+"""UDF definitions, signatures, and the registry.
+
+A :class:`UDFDefinition` is everything the server needs to run a UDF:
+name, typed signature, language + design (Table 1 coordinates), the
+payload (JagScript source / classfile bytes for sandboxed UDFs, a
+``module:function`` path for native ones), the callback permissions it
+was granted, and optimizer cost hints.
+
+The :class:`UDFRegistry` hands out *executors* (see the per-design
+modules).  Executor lifetime follows the paper: in-process executors are
+created once per registration and shared; isolated executors are created
+once per query ("these executors ... are created once per query, not
+once per function invocation") and torn down when the query ends.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import UDFRegistrationError
+from ..vm.values import VMType
+from .designs import Design
+
+#: SQL-facing type names for UDF parameters/results.  ``handle`` is an
+#: integer token for a server-side large object, enabling the callback
+#: access pattern (Section 5.5) instead of by-value argument shipping.
+PARAM_TYPE_NAMES = ("int", "float", "bool", "str", "bytes", "farr", "handle")
+
+_VM_TYPES = {
+    "int": VMType.INT,
+    "float": VMType.FLOAT,
+    "bool": VMType.BOOL,
+    "str": VMType.STR,
+    "bytes": VMType.ARR,
+    "farr": VMType.FARR,
+    "handle": VMType.INT,
+    "void": VMType.VOID,
+}
+
+
+@dataclass(frozen=True)
+class UDFSignature:
+    """Typed signature in SQL-facing terms."""
+
+    param_types: Tuple[str, ...]
+    ret_type: str
+
+    def __post_init__(self) -> None:
+        for name in self.param_types:
+            if name not in PARAM_TYPE_NAMES:
+                raise UDFRegistrationError(f"unknown parameter type {name!r}")
+        if self.ret_type not in PARAM_TYPE_NAMES:
+            raise UDFRegistrationError(f"unknown return type {self.ret_type!r}")
+
+    def vm_param_types(self) -> Tuple[VMType, ...]:
+        return tuple(_VM_TYPES[name] for name in self.param_types)
+
+    def vm_ret_type(self) -> VMType:
+        return _VM_TYPES[self.ret_type]
+
+
+@dataclass(frozen=True)
+class CostHints:
+    """Optimizer hints (Section 5.6: modelling a UDF by its components).
+
+    ``cost_per_call`` is in abstract units relative to a cheap built-in
+    predicate (cost 1.0); ``selectivity`` is the expected pass fraction
+    when the UDF is used as a predicate.
+    """
+
+    cost_per_call: float = 1000.0
+    selectivity: float = 0.5
+
+    @property
+    def rank(self) -> float:
+        """Hellerstein's predicate rank: lower runs earlier."""
+        return (self.selectivity - 1.0) / self.cost_per_call
+
+
+@dataclass
+class UDFDefinition:
+    """A registered UDF."""
+
+    name: str
+    signature: UDFSignature
+    design: Design
+    payload: bytes
+    entry: str
+    callbacks: Tuple[str, ...] = ()
+    cost: CostHints = field(default_factory=CostHints)
+    fuel: Optional[int] = None
+    memory: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not self.name.isidentifier():
+            raise UDFRegistrationError(f"bad UDF name {self.name!r}")
+        if not self.entry:
+            raise UDFRegistrationError("UDF entry point must be non-empty")
+
+    @property
+    def language(self) -> str:
+        return self.design.language
+
+
+def resolve_native_payload(payload: bytes) -> Callable:
+    """Resolve a native UDF payload ``module:function`` to its callable.
+
+    Native UDFs are host-language code living in the server's import
+    path — the analog of C++ UDFs compiled against the server.  The
+    server operator controls that path; this is exactly the trust the
+    paper assigns to Design 1/2 code.
+    """
+    text = payload.decode("utf-8")
+    module_name, sep, func_name = text.partition(":")
+    if not sep or not module_name or not func_name:
+        raise UDFRegistrationError(
+            f"native payload must be 'module:function', got {text!r}"
+        )
+    try:
+        module = importlib.import_module(module_name)
+    except ImportError as exc:
+        raise UDFRegistrationError(
+            f"cannot import native UDF module {module_name!r}: {exc}"
+        ) from None
+    func = getattr(module, func_name, None)
+    if not callable(func):
+        raise UDFRegistrationError(
+            f"{module_name}.{func_name} is not a callable"
+        )
+    return func
+
+
+class UDFRegistry:
+    """Name -> definition map with executor construction.
+
+    The registry is wired to a server environment (VM instance, callback
+    broker, LOB manager) by the owning :class:`~repro.database.Database`;
+    the per-design executor modules pull what they need from it.
+    """
+
+    def __init__(self, environment: "ServerEnvironment"):
+        self.environment = environment
+        self._definitions: Dict[str, UDFDefinition] = {}
+        self._shared_executors: Dict[str, object] = {}
+
+    def register(self, definition: UDFDefinition) -> None:
+        key = definition.name.lower()
+        if key in self._definitions:
+            raise UDFRegistrationError(
+                f"UDF {definition.name!r} is already registered"
+            )
+        # Validate eagerly: a bad payload should fail at CREATE FUNCTION
+        # time, not mid-query.
+        from .factory import validate_definition
+
+        validate_definition(definition, self.environment)
+        self._definitions[key] = definition
+
+    def unregister(self, name: str) -> None:
+        key = name.lower()
+        self._definitions.pop(key, None)
+        executor = self._shared_executors.pop(key, None)
+        if executor is not None:
+            executor.close()
+        self.environment.vm.unload_udf(key)
+
+    def get(self, name: str) -> UDFDefinition:
+        try:
+            return self._definitions[name.lower()]
+        except KeyError:
+            raise UDFRegistrationError(f"unknown UDF {name!r}") from None
+
+    def has(self, name: str) -> bool:
+        return name.lower() in self._definitions
+
+    def names(self) -> List[str]:
+        return sorted(d.name for d in self._definitions.values())
+
+    def executor_for_query(self, name: str):
+        """An executor for one query's worth of invocations.
+
+        In-process designs share one executor per registration (created
+        lazily); isolated designs get a fresh remote process per query,
+        as in the paper's implementation.
+        """
+        definition = self.get(name)
+        from .factory import make_executor
+
+        if definition.design.is_isolated:
+            return make_executor(definition, self.environment)
+        key = definition.name.lower()
+        executor = self._shared_executors.get(key)
+        if executor is None:
+            executor = make_executor(definition, self.environment)
+            self._shared_executors[key] = executor
+        return executor
+
+    def close(self) -> None:
+        for executor in self._shared_executors.values():
+            executor.close()
+        self._shared_executors.clear()
+
+
+@dataclass
+class ServerEnvironment:
+    """What executors may touch in the server (dependency injection)."""
+
+    vm: "object"                 # repro.vm.machine.JaguarVM
+    broker: "object"             # repro.core.callbacks.CallbackBroker
+    lobs: Optional[object] = None  # repro.storage.lob.LOBManager
+    #: repro.vm.threadgroups.ThreadGroupRegistry — sandbox executors
+    #: adopt their per-query accounts into the UDF's group so a DBA can
+    #: revoke a runaway UDF mid-query (Section 6.1's thread groups).
+    thread_groups: Optional[object] = None

@@ -1,0 +1,236 @@
+"""The PREDATOR-analog database facade.
+
+``Database`` wires every substrate together the way Section 4 describes
+the real system: a storage manager (disk + buffer pool + LOBs + catalog),
+a query processing engine on top of it, one JaguarVM instance "created
+when the database server starts up", the callback broker, and the UDF
+registry spanning all six execution designs.
+
+Typical embedded use::
+
+    from repro import Database
+
+    with Database() as db:                      # in-memory
+        db.execute("CREATE TABLE t (id INT, data BYTEARRAY)")
+        db.execute("INSERT INTO t VALUES (1, zerobytes(100))")
+        db.execute(
+            "CREATE FUNCTION plus1(int) RETURNS int LANGUAGE JAGUAR "
+            "DESIGN SANDBOX AS 'def plus1(x: int) -> int: return x + 1'"
+        )
+        rows = db.execute("SELECT plus1(id) FROM t").rows
+
+``Database(path)`` persists pages under ``path/`` and reloads tables and
+registered UDFs on reopen.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, List, Optional, Sequence
+
+from .core.callbacks import CallbackBroker
+from .core.designs import Design
+from .core.udf import (
+    CostHints,
+    ServerEnvironment,
+    UDFDefinition,
+    UDFRegistry,
+    UDFSignature,
+)
+from .errors import PlanError, RecordError
+from .sql.executor import QueryResult, StatementExecutor
+from .sql.parser import parse_script, parse_statement
+from .storage.buffer import BufferPool
+from .storage.catalog import Catalog, TableInfo, UDFInfo
+from .storage.disk import DiskManager
+from .storage.heapfile import HeapFile
+from .storage.lob import LOBManager, LOBRef
+from .storage.record import ColumnType, serialize_record
+from .vm.machine import JaguarVM
+
+#: Byte-array values larger than this are spilled to LOB pages; smaller
+#: ones are stored inline in the record.  The paper's Rel100 rows stay
+#: inline; Rel10000 rows become LOBs.
+DEFAULT_LOB_THRESHOLD = 1024
+
+
+class Database:
+    """An embedded OR-DBMS instance with secure UDF extensibility."""
+
+    def __init__(
+        self,
+        path: Optional[str] = None,
+        page_size: int = 8192,
+        buffer_capacity: int = 512,
+        lob_threshold: int = DEFAULT_LOB_THRESHOLD,
+        use_jit: bool = True,
+    ):
+        self.path = path
+        if path is None:
+            data_path = None
+            catalog_path = None
+        else:
+            os.makedirs(path, exist_ok=True)
+            data_path = os.path.join(path, "data.pages")
+            catalog_path = os.path.join(path, "catalog.json")
+        self.disk = DiskManager(data_path, page_size=page_size)
+        self.pool = BufferPool(self.disk, capacity=buffer_capacity)
+        self.lobs = LOBManager(self.pool)
+        self.catalog = Catalog(catalog_path)
+        self.lob_threshold = lob_threshold
+
+        self.broker = CallbackBroker()
+        self.vm = JaguarVM(self.broker.signatures(), use_jit=use_jit)
+        from .vm.threadgroups import ThreadGroupRegistry
+
+        self.thread_groups = ThreadGroupRegistry()
+        self.environment = ServerEnvironment(
+            vm=self.vm,
+            broker=self.broker,
+            lobs=self.lobs,
+            thread_groups=self.thread_groups,
+        )
+        self.registry = UDFRegistry(self.environment)
+        self._executor = StatementExecutor(self)
+        self._reload_udfs()
+
+    # -- SQL entry points ------------------------------------------------------
+
+    def execute(self, sql: str) -> QueryResult:
+        """Parse and run one SQL statement."""
+        return self._executor.execute(parse_statement(sql))
+
+    def execute_script(self, sql: str) -> List[QueryResult]:
+        """Run a semicolon-separated script; returns one result each."""
+        return [
+            self._executor.execute(statement)
+            for statement in parse_script(sql)
+        ]
+
+    def query(self, sql: str) -> List[tuple]:
+        """Shorthand: execute and return the rows."""
+        return self.execute(sql).rows
+
+    # -- programmatic data path (used by workload generators) ---------------------
+
+    def insert_rows(
+        self, table_name: str, rows: Iterable[Sequence[object]]
+    ) -> int:
+        """Bulk-insert host values, bypassing the SQL parser."""
+        table = self.catalog.get_table(table_name)
+        count = 0
+        for row in rows:
+            self.insert_row(table, list(row))
+            count += 1
+        return count
+
+    def insert_row(self, table: TableInfo, values: List[object]) -> None:
+        if len(values) != len(table.columns):
+            raise RecordError(
+                f"{len(values)} values for {len(table.columns)} columns"
+            )
+        record, prepared = self.prepare_row(table, values)
+        heap = HeapFile(self.pool, table.first_page)
+        rid = heap.insert(record)
+        self._executor._index_add(table, rid, prepared)
+
+    def encode_row(self, table: TableInfo, values: List[object]) -> bytes:
+        """Validate, spill large byte arrays to LOBs, and serialize."""
+        return self.prepare_row(table, values)[0]
+
+    def prepare_row(self, table: TableInfo, values: List[object]):
+        """As :meth:`encode_row`, also returning the prepared values."""
+        prepared: List[object] = []
+        for value, column in zip(values, table.columns):
+            if value is None:
+                if not column.nullable:
+                    raise RecordError(
+                        f"column {column.name!r} is NOT NULL"
+                    )
+                prepared.append(None)
+                continue
+            if column.col_type is ColumnType.FLOAT and isinstance(value, int):
+                value = float(value)
+            if column.col_type is ColumnType.BYTES and isinstance(
+                value, (bytes, bytearray, memoryview)
+            ):
+                if len(value) > self.lob_threshold:
+                    value = self.lobs.write(bytes(value))
+            prepared.append(value)
+        return serialize_record(prepared, table.column_types()), prepared
+
+    def read_lob(self, ref: LOBRef) -> bytes:
+        return self.lobs.read(ref)
+
+    # -- UDF management -------------------------------------------------------------
+
+    def register_udf(
+        self, definition: UDFDefinition, persist: bool = True
+    ) -> None:
+        """Admit a UDF (validating its payload) and persist it."""
+        self.registry.register(definition)
+        if persist:
+            self.catalog.add_udf(
+                UDFInfo(
+                    name=definition.name,
+                    language=definition.language,
+                    design=definition.design.value,
+                    entry=definition.entry,
+                    payload=definition.payload,
+                    param_types=list(definition.signature.param_types),
+                    ret_type=definition.signature.ret_type,
+                    callbacks=list(definition.callbacks),
+                )
+            )
+
+    def unregister_udf(self, name: str) -> None:
+        self.registry.unregister(name)
+        if self.catalog.has_udf(name):
+            self.catalog.drop_udf(name)
+
+    def kill_udf(self, name: str) -> None:
+        """Revoke a (sandboxed) UDF's running invocations (Section 6.1).
+
+        The UDF's thread group is killed: every in-flight invocation's
+        resource account is revoked, so the sandboxed code dies at its
+        next fuel check — at most one basic block away — and the query
+        fails with :class:`~repro.errors.FuelExhausted` while the server
+        thread survives.  Registration is untouched; the next query gets
+        a fresh group.
+        """
+        self.thread_groups.kill(name.lower())
+
+    def _reload_udfs(self) -> None:
+        """Re-register persisted UDFs on reopen (payloads re-verify)."""
+        for info in list(self.catalog.udfs.values()):
+            definition = UDFDefinition(
+                name=info.name,
+                signature=UDFSignature(
+                    tuple(info.param_types), info.ret_type
+                ),
+                design=Design(info.design),
+                payload=info.payload,
+                entry=info.entry,
+                callbacks=tuple(info.callbacks),
+                cost=CostHints(),
+            )
+            self.registry.register(definition)
+
+    # -- lifecycle -----------------------------------------------------------------------
+
+    def flush(self) -> None:
+        self.pool.flush_all()
+        self.disk.sync()
+        self.catalog.save()
+
+    def close(self) -> None:
+        self.registry.close()
+        if self.disk is not None:
+            self.pool.flush_all()
+            self.disk.close()
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,14 @@
+"""Client/server deployment: wire protocol, threaded server, client
+library, and the portable UDF development workflow (Section 6.4)."""
+
+from .adtstream import read_value, write_value
+from .client import Client, LocalUDFHarness
+from .server import DatabaseServer
+
+__all__ = [
+    "Client",
+    "DatabaseServer",
+    "LocalUDFHarness",
+    "read_value",
+    "write_value",
+]

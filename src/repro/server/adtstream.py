@@ -1,0 +1,168 @@
+"""Stream-serializable ADT values (Section 6.4).
+
+"Every data type used by the database server is mirrored by a
+corresponding ADT class ... Each ADT class can read an attribute value
+of its type from an input stream and construct an object representing
+it.  Likewise, the ADT class can write an object back to an output
+stream.  ...  At both client and server, UDFs are invoked using the
+identical protocol; input parameters are presented as streams, and the
+output parameter is expected as a stream."
+
+This module is that protocol: a tagged binary encoding for every SQL
+value type, used by the wire protocol for rows and by the UDF migration
+path for test vectors.  Unlike :mod:`pickle`, it can only express data —
+a hostile peer cannot smuggle objects or code through it.
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+from array import array
+from typing import BinaryIO, List, Sequence
+
+from ..errors import ProtocolError
+
+_TAG_NULL = 0
+_TAG_INT = 1
+_TAG_FLOAT = 2
+_TAG_BOOL = 3
+_TAG_STR = 4
+_TAG_BYTES = 5
+_TAG_FARR = 6
+_TAG_ROW = 7
+
+_I64 = struct.Struct("<q")
+_F64 = struct.Struct("<d")
+_U32 = struct.Struct("<I")
+
+#: Decoder size cap: no single value may claim more than this many bytes.
+MAX_VALUE_BYTES = 256 * 1024 * 1024
+
+
+def write_value(stream: BinaryIO, value: object) -> None:
+    """Write one tagged value."""
+    if value is None:
+        stream.write(bytes([_TAG_NULL]))
+    elif isinstance(value, bool):
+        stream.write(bytes([_TAG_BOOL, 1 if value else 0]))
+    elif isinstance(value, int):
+        stream.write(bytes([_TAG_INT]))
+        stream.write(_I64.pack(value))
+    elif isinstance(value, float):
+        stream.write(bytes([_TAG_FLOAT]))
+        stream.write(_F64.pack(value))
+    elif isinstance(value, str):
+        raw = value.encode("utf-8")
+        stream.write(bytes([_TAG_STR]))
+        stream.write(_U32.pack(len(raw)))
+        stream.write(raw)
+    elif isinstance(value, (bytes, bytearray, memoryview)):
+        raw = bytes(value)
+        stream.write(bytes([_TAG_BYTES]))
+        stream.write(_U32.pack(len(raw)))
+        stream.write(raw)
+    elif isinstance(value, array) and value.typecode == "d":
+        raw = value.tobytes()
+        stream.write(bytes([_TAG_FARR]))
+        stream.write(_U32.pack(len(value)))
+        stream.write(raw)
+    elif isinstance(value, (tuple, list)):
+        stream.write(bytes([_TAG_ROW]))
+        stream.write(_U32.pack(len(value)))
+        for item in value:
+            write_value(stream, item)
+    else:
+        raise ProtocolError(
+            f"value of type {type(value).__name__} is not stream-serializable"
+        )
+
+
+def read_value(stream: BinaryIO):
+    """Read one tagged value; raises :class:`ProtocolError` on bad input."""
+    tag_byte = stream.read(1)
+    if not tag_byte:
+        raise ProtocolError("unexpected end of stream")
+    tag = tag_byte[0]
+    if tag == _TAG_NULL:
+        return None
+    if tag == _TAG_BOOL:
+        flag = _take(stream, 1)[0]
+        if flag not in (0, 1):
+            raise ProtocolError(f"bad bool byte {flag}")
+        return flag == 1
+    if tag == _TAG_INT:
+        return _I64.unpack(_take(stream, 8))[0]
+    if tag == _TAG_FLOAT:
+        return _F64.unpack(_take(stream, 8))[0]
+    if tag == _TAG_STR:
+        length = _length(stream)
+        try:
+            return _take(stream, length).decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ProtocolError(f"invalid utf-8 string: {exc}") from None
+    if tag == _TAG_BYTES:
+        return _take(stream, _length(stream))
+    if tag == _TAG_FARR:
+        count = _length(stream)
+        if count * 8 > MAX_VALUE_BYTES:
+            raise ProtocolError("float array too large")
+        values = array("d")
+        values.frombytes(_take(stream, count * 8))
+        return values
+    if tag == _TAG_ROW:
+        count = _length(stream)
+        if count > 1_000_000:
+            raise ProtocolError("row too wide")
+        return tuple(read_value(stream) for __ in range(count))
+    raise ProtocolError(f"unknown value tag {tag}")
+
+
+def dumps(value: object) -> bytes:
+    buffer = io.BytesIO()
+    write_value(buffer, value)
+    return buffer.getvalue()
+
+
+def loads(data: bytes):
+    stream = io.BytesIO(data)
+    value = read_value(stream)
+    if stream.read(1):
+        raise ProtocolError("trailing bytes after value")
+    return value
+
+
+def dump_rows(rows: Sequence[Sequence[object]]) -> bytes:
+    buffer = io.BytesIO()
+    buffer.write(_U32.pack(len(rows)))
+    for row in rows:
+        write_value(buffer, tuple(row))
+    return buffer.getvalue()
+
+
+def load_rows(data: bytes) -> List[tuple]:
+    stream = io.BytesIO(data)
+    count = _length(stream)
+    rows = []
+    for __ in range(count):
+        row = read_value(stream)
+        if not isinstance(row, tuple):
+            raise ProtocolError("row payload did not contain a row")
+        rows.append(row)
+    if stream.read(1):
+        raise ProtocolError("trailing bytes after rows")
+    return rows
+
+
+def _take(stream: BinaryIO, n: int) -> bytes:
+    data = stream.read(n)
+    if len(data) != n:
+        raise ProtocolError("truncated value")
+    return data
+
+
+def _length(stream: BinaryIO) -> int:
+    length = _U32.unpack(_take(stream, 4))[0]
+    if length > MAX_VALUE_BYTES:
+        raise ProtocolError(f"declared size {length} exceeds limit")
+    return length

@@ -1,0 +1,173 @@
+"""Client-side UDF execution (Section 3.1's alternative, built out).
+
+    "If the UDF were not available at the server, all the images would
+    need to be shipped to the client where their 'redness' would be
+    checked as a post-processing filter.  This would correspond to the
+    'data-shipping' approach used by object-oriented databases, which
+    is known to be a poor choice for certain queries."
+
+The paper argues *for* server-side UDFs by pointing at this strategy's
+costs; its future work ("we intend to explore client-side UDFs and find
+query optimization techniques to choose between server-side and
+client-side execution") is the comparison this module makes runnable:
+
+* :meth:`ClientSideUDF.run_data_shipping` fetches the UDF's argument
+  columns over the wire and evaluates the (locally verified) UDF in the
+  client's own JaguarVM, filtering post hoc;
+* :meth:`ClientSideUDF.run_server_side` migrates the identical
+  classfile and lets the server evaluate it inside the plan;
+* both report wall time and bytes moved, so the data-shipping penalty
+  (and the rare cases where client-side wins, e.g. a hot client cache
+  or a server under load) can be measured rather than asserted.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from ..errors import ClientError
+from .client import Client, LocalUDFHarness
+
+
+@dataclass
+class StrategyOutcome:
+    """What one execution strategy cost and produced."""
+
+    strategy: str
+    rows: List[tuple]
+    seconds: float
+    bytes_over_wire: int
+    udf_invocations: int
+
+
+class ClientSideUDF:
+    """One UDF, executable at either site over the same connection."""
+
+    def __init__(
+        self,
+        client: Client,
+        harness: LocalUDFHarness,
+        name: str,
+        source: str,
+        param_types: Sequence[str],
+        ret_type: str,
+        entry: Optional[str] = None,
+    ):
+        self.client = client
+        self.harness = harness
+        self.name = name
+        self.entry = entry or name
+        self.param_types = list(param_types)
+        self.ret_type = ret_type
+        self.classfile = harness.compile_to_bytes(
+            source, class_name=f"udf_{self.entry}"
+        )
+        self._migrated = False
+
+    # -- strategy 1: data shipping ------------------------------------------
+
+    def run_data_shipping(
+        self,
+        table: str,
+        key_column: str,
+        arg_columns: Sequence[str],
+        predicate: Callable[[object], bool],
+        where: str = "",
+    ) -> StrategyOutcome:
+        """Ship the argument columns to the client; filter locally.
+
+        Returns the key values whose UDF result satisfies ``predicate``.
+        ``where`` may carry the query's *cheap* predicates (the server
+        still applies those — only the UDF moves to the client).
+        """
+        columns = ", ".join([key_column, *arg_columns])
+        sql = f"SELECT {columns} FROM {table}"
+        if where:
+            sql += f" WHERE {where}"
+        start = time.perf_counter()
+        received_before = self.client.bytes_received
+        result = self.client.execute(sql)
+        loaded = self.harness.load(self.classfile)
+        invocations = 0
+        kept: List[tuple] = []
+        for row in result.rows:
+            args = list(row[1:])
+            if any(a is None for a in args):
+                continue
+            invocations += 1
+            value = loaded.invoke(self.entry, args)
+            if predicate(value):
+                kept.append((row[0],))
+        elapsed = time.perf_counter() - start
+        return StrategyOutcome(
+            strategy="data-shipping (client-side UDF)",
+            rows=kept,
+            seconds=elapsed,
+            bytes_over_wire=self.client.bytes_received - received_before,
+            udf_invocations=invocations,
+        )
+
+    # -- strategy 2: server side -----------------------------------------------
+
+    def migrate(self) -> None:
+        if not self._migrated:
+            self.client.register_udf_classfile(
+                self.name, self.param_types, self.ret_type,
+                self.classfile, entry=self.entry,
+            )
+            self._migrated = True
+
+    def run_server_side(
+        self,
+        table: str,
+        key_column: str,
+        arg_columns: Sequence[str],
+        predicate_sql: str,
+        where: str = "",
+    ) -> StrategyOutcome:
+        """Evaluate the UDF inside the server's plan; ship only keys.
+
+        ``predicate_sql`` is the comparison applied to the UDF result,
+        e.g. ``"> 0.7"``.
+        """
+        self.migrate()
+        args = ", ".join(arg_columns)
+        sql = (
+            f"SELECT {key_column} FROM {table} "
+            f"WHERE {self.name}({args}) {predicate_sql}"
+        )
+        if where:
+            sql += f" AND {where}"
+        start = time.perf_counter()
+        received_before = self.client.bytes_received
+        result = self.client.execute(sql)
+        elapsed = time.perf_counter() - start
+        return StrategyOutcome(
+            strategy="server-side UDF",
+            rows=list(result.rows),
+            seconds=elapsed,
+            bytes_over_wire=self.client.bytes_received - received_before,
+            udf_invocations=result.rowcount,  # lower bound; server-side
+        )
+
+
+def compare_strategies(
+    outcome_a: StrategyOutcome, outcome_b: StrategyOutcome
+) -> str:
+    """A small human-readable comparison (used by the example)."""
+    lines = []
+    for outcome in (outcome_a, outcome_b):
+        lines.append(
+            f"  {outcome.strategy:34s} {outcome.seconds * 1000:9.1f} ms"
+            f"  {outcome.bytes_over_wire / 1024.0:10.1f} KiB on the wire"
+            f"  {len(outcome.rows)} qualifying rows"
+        )
+    if sorted(outcome_a.rows) != sorted(outcome_b.rows):
+        raise ClientError("strategies disagree on the answer!")
+    ratio = outcome_a.bytes_over_wire / max(outcome_b.bytes_over_wire, 1)
+    lines.append(
+        f"  -> data shipping moved {ratio:.0f}x the bytes of server-side"
+    )
+    return "\n".join(lines)

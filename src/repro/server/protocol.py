@@ -1,0 +1,97 @@
+"""Wire protocol: length-prefixed, opcode-tagged frames.
+
+Frame layout::
+
+    [u32 length][u8 opcode][payload ...]
+
+Payload contents are ADT-stream values (:mod:`repro.server.adtstream`),
+never pickle — the server must assume clients are hostile (they are
+"unknown or untrusted", Section 1).
+"""
+
+from __future__ import annotations
+
+import io
+import socket
+import struct
+from typing import Optional, Tuple
+
+from ..errors import ProtocolError
+from . import adtstream
+
+_FRAME = struct.Struct("<IB")
+MAX_FRAME = 512 * 1024 * 1024
+
+# Client -> server
+OP_HELLO = 1
+OP_EXECUTE = 2        # payload: (sql,)
+OP_REGISTER_UDF = 3   # payload: (name, params row, ret, design, entry,
+                      #           callbacks row, payload bytes)
+OP_CLOSE = 4
+OP_PING = 5
+
+# Server -> client
+OP_WELCOME = 16
+OP_RESULT = 17        # payload: (columns row, rowcount, rows bytes)
+OP_OK = 18
+OP_ERROR = 19         # payload: (error class name, message)
+OP_PONG = 20
+
+
+def send_frame(sock: socket.socket, opcode: int, payload: bytes = b"") -> None:
+    if len(payload) + 1 > MAX_FRAME:
+        raise ProtocolError("frame too large")
+    header = _FRAME.pack(len(payload) + 1, opcode)
+    sock.sendall(header + payload)
+
+
+def recv_frame(sock: socket.socket) -> Tuple[int, bytes]:
+    header = _recv_exact(sock, _FRAME.size)
+    length, opcode = _FRAME.unpack(header)
+    if length < 1 or length > MAX_FRAME:
+        raise ProtocolError(f"bad frame length {length}")
+    payload = _recv_exact(sock, length - 1)
+    return opcode, payload
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            raise ProtocolError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+# -- payload builders ---------------------------------------------------------
+
+def encode_values(*values: object) -> bytes:
+    buffer = io.BytesIO()
+    for value in values:
+        adtstream.write_value(buffer, value)
+    return buffer.getvalue()
+
+
+def decode_values(payload: bytes, count: int) -> tuple:
+    stream = io.BytesIO(payload)
+    values = tuple(adtstream.read_value(stream) for __ in range(count))
+    if stream.read(1):
+        raise ProtocolError("trailing bytes in payload")
+    return values
+
+
+def encode_result(columns, rows) -> bytes:
+    return encode_values(tuple(columns), len(rows)) + adtstream.dump_rows(rows)
+
+
+def decode_result(payload: bytes):
+    stream = io.BytesIO(payload)
+    columns = adtstream.read_value(stream)
+    rowcount = adtstream.read_value(stream)
+    rows = adtstream.load_rows(stream.read())
+    if not isinstance(columns, tuple) or not isinstance(rowcount, int):
+        raise ProtocolError("malformed result payload")
+    return list(columns), rowcount, rows

@@ -1,0 +1,179 @@
+"""The threaded database server.
+
+"The server is a single multi-threaded process, with at least one thread
+per connected client" (Section 4).  :class:`DatabaseServer` accepts TCP
+connections and serves each on its own thread against one shared
+:class:`~repro.database.Database`.
+
+Statement execution is serialized by a global lock: PREDATOR's storage
+ran concurrent clients, but its *expression evaluation* was serial, and
+a single-writer embedded engine keeps the reproduction honest about what
+it measures (the benchmarks are single-client anyway).  The interesting
+concurrency — threads created for UDF thread groups, remote executor
+processes — happens below this lock.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Optional
+
+from ..core.designs import Design
+from ..core.udf import CostHints, UDFDefinition, UDFSignature
+from ..database import Database
+from ..errors import ProtocolError, ReproError
+from . import protocol
+from .session import Session
+
+
+class DatabaseServer:
+    """TCP front end over one embedded :class:`Database`."""
+
+    def __init__(
+        self,
+        database: Database,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        trust_all_clients: bool = False,
+    ):
+        self.database = database
+        self.trust_all_clients = trust_all_clients
+        self._listener = socket.create_server((host, port))
+        self.host, self.port = self._listener.getsockname()
+        self._lock = threading.Lock()
+        self._accept_thread: Optional[threading.Thread] = None
+        self._running = False
+        self.sessions_served = 0
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self) -> None:
+        self._running = True
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="server-accept", daemon=True
+        )
+        self._accept_thread.start()
+
+    def stop(self) -> None:
+        self._running = False
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "DatabaseServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- accept / serve -----------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while self._running:
+            try:
+                conn, addr = self._listener.accept()
+            except OSError:
+                return  # listener closed
+            self.sessions_served += 1
+            thread = threading.Thread(
+                target=self._serve_client,
+                args=(conn, addr),
+                name=f"client-{addr[1]}",
+                daemon=True,
+            )
+            thread.start()
+
+    def _serve_client(self, conn: socket.socket, addr) -> None:
+        session = Session(
+            peer=f"{addr[0]}:{addr[1]}", trusted=self.trust_all_clients
+        )
+        try:
+            with conn:
+                while True:
+                    try:
+                        opcode, payload = protocol.recv_frame(conn)
+                    except ProtocolError:
+                        return
+                    if opcode == protocol.OP_CLOSE:
+                        return
+                    self._handle(conn, session, opcode, payload)
+        except OSError:
+            return
+
+    def _handle(self, conn, session: Session, opcode: int, payload: bytes) -> None:
+        try:
+            if opcode == protocol.OP_HELLO:
+                protocol.send_frame(
+                    conn,
+                    protocol.OP_WELCOME,
+                    protocol.encode_values(session.session_id, session.trusted),
+                )
+            elif opcode == protocol.OP_PING:
+                protocol.send_frame(conn, protocol.OP_PONG)
+            elif opcode == protocol.OP_EXECUTE:
+                (sql,) = protocol.decode_values(payload, 1)
+                session.statements += 1
+                with self._lock:
+                    result = self.database.execute(sql)
+                    rows = self._materialize(result.rows)
+                protocol.send_frame(
+                    conn,
+                    protocol.OP_RESULT,
+                    protocol.encode_result(result.columns, rows),
+                )
+            elif opcode == protocol.OP_REGISTER_UDF:
+                self._register_udf(conn, session, payload)
+            else:
+                raise ProtocolError(f"unknown opcode {opcode}")
+        except Exception as exc:  # every failure becomes an ERROR frame
+            protocol.send_frame(
+                conn,
+                protocol.OP_ERROR,
+                protocol.encode_values(type(exc).__name__, str(exc)),
+            )
+
+    def _materialize(self, rows):
+        """Resolve LOB references into bytes before rows leave the server.
+
+        Embedded callers can keep references and stream ranges; a remote
+        client has no access to the server's pages, so projected large
+        objects ship by value (this is what makes the data-shipping
+        strategy of Section 3.1 expensive — measurably so).
+        """
+        from ..storage.lob import LOBRef
+
+        materialized = []
+        for row in rows:
+            if any(isinstance(value, LOBRef) for value in row):
+                row = tuple(
+                    self.database.lobs.read(value)
+                    if isinstance(value, LOBRef) else value
+                    for value in row
+                )
+            materialized.append(row)
+        return materialized
+
+    def _register_udf(self, conn, session: Session, payload: bytes) -> None:
+        name, params, ret, design_name, entry, callbacks, udf_payload = (
+            protocol.decode_values(payload, 7)
+        )
+        design = Design(design_name)
+        session.check_design_allowed(design)
+        definition = UDFDefinition(
+            name=name,
+            signature=UDFSignature(tuple(params), ret),
+            design=design,
+            payload=bytes(udf_payload),
+            entry=entry,
+            callbacks=tuple(callbacks),
+            cost=CostHints(),
+        )
+        with self._lock:
+            # The payload may be classfile bytes compiled at the client;
+            # registration re-verifies them (never trust the client).
+            self.database.register_udf(definition)
+        session.udfs_registered += 1
+        protocol.send_frame(conn, protocol.OP_OK)

@@ -1,0 +1,13 @@
+"""SQL query processing: lexer, parser, planner, optimizer, executor."""
+
+from .types import SQLType, ColumnDef
+from .lexer import tokenize
+from .parser import parse_statement, parse_script
+
+__all__ = [
+    "ColumnDef",
+    "SQLType",
+    "parse_script",
+    "parse_statement",
+    "tokenize",
+]

@@ -1,0 +1,201 @@
+"""SQL abstract syntax trees (statements and expressions).
+
+Pure data: the parser builds these, the planner consumes them.  Named
+``ast_nodes`` (not ``ast``) so the compiler's use of the stdlib ``ast``
+module can never be shadowed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from .types import ColumnDef
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+class Expr:
+    """Base class for expression nodes."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    value: object  # int | float | bool | str | None
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expr):
+    name: str
+    table: Optional[str] = None
+
+    def __str__(self) -> str:
+        return f"{self.table}.{self.name}" if self.table else self.name
+
+
+@dataclass(frozen=True)
+class Star(Expr):
+    table: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expr):
+    op: str  # + - * / % = != < <= > >= and or like
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expr):
+    op: str  # - not
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class IsNull(Expr):
+    operand: Expr
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Between(Expr):
+    operand: Expr
+    low: Expr
+    high: Expr
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class InList(Expr):
+    operand: Expr
+    items: Tuple[Expr, ...]
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class FuncCall(Expr):
+    """A function call: builtin scalar, aggregate, or UDF — resolved by
+    the planner, not the parser."""
+
+    name: str
+    args: Tuple[Expr, ...]
+    star: bool = False  # COUNT(*)
+    distinct: bool = False
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+class Statement:
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    expr: Expr
+    alias: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class TableRef:
+    name: str
+    alias: Optional[str] = None
+
+    @property
+    def label(self) -> str:
+        return self.alias or self.name
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    expr: Expr
+    descending: bool = False
+
+
+@dataclass(frozen=True)
+class Select(Statement):
+    items: Tuple[SelectItem, ...]
+    tables: Tuple[TableRef, ...]
+    where: Optional[Expr] = None
+    group_by: Tuple[Expr, ...] = ()
+    order_by: Tuple[OrderItem, ...] = ()
+    limit: Optional[int] = None
+    distinct: bool = False
+
+
+@dataclass(frozen=True)
+class CreateTable(Statement):
+    name: str
+    columns: Tuple[ColumnDef, ...]
+
+
+@dataclass(frozen=True)
+class DropTable(Statement):
+    name: str
+
+
+@dataclass(frozen=True)
+class CreateIndex(Statement):
+    name: str
+    table: str
+    column: str
+
+
+@dataclass(frozen=True)
+class Insert(Statement):
+    table: str
+    columns: Tuple[str, ...]  # empty = all, in table order
+    rows: Tuple[Tuple[Expr, ...], ...]
+
+
+@dataclass(frozen=True)
+class Update(Statement):
+    table: str
+    assignments: Tuple[Tuple[str, Expr], ...]
+    where: Optional[Expr] = None
+
+
+@dataclass(frozen=True)
+class Delete(Statement):
+    table: str
+    where: Optional[Expr] = None
+
+
+@dataclass(frozen=True)
+class CreateFunction(Statement):
+    """CREATE FUNCTION name(type, ...) RETURNS type LANGUAGE ... DESIGN ...
+
+    ``payload`` is the quoted body: JagScript source for LANGUAGE
+    JAGUAR, a ``module:function`` path for LANGUAGE NATIVE.
+    """
+
+    name: str
+    param_types: Tuple[str, ...]
+    ret_type: str
+    language: str
+    design: str
+    payload: str
+    entry: Optional[str] = None
+    callbacks: Tuple[str, ...] = ()
+    cost: Optional[float] = None
+    selectivity: Optional[float] = None
+    fuel: Optional[int] = None
+    memory: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class DropFunction(Statement):
+    name: str
+
+
+@dataclass(frozen=True)
+class Explain(Statement):
+    """EXPLAIN SELECT ...: show the optimized plan instead of running it."""
+
+    select: Select

@@ -1,0 +1,468 @@
+"""Statement execution: ties the planner, optimizer, operators, storage,
+and the UDF subsystem together.
+
+One :class:`StatementExecutor` serves one database instance.  For each
+SELECT it builds the logical plan, optimizes it, compiles expressions to
+closures, sets up per-query UDF executors (Design 2/4 executors are
+*processes created per query*, per the paper), runs the Volcano tree,
+and tears everything down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ExecutionError, PlanError
+from ..storage.btree import BPlusTree
+from ..storage.catalog import Column as CatColumn
+from ..storage.catalog import IndexInfo, TableInfo
+from ..storage.heapfile import HeapFile
+from ..storage.lob import LOBRef
+from ..storage.record import ColumnType, serialize_record
+from . import ast_nodes as A
+from .expressions import (
+    FunctionResolver,
+    QueryRuntime,
+    compile_expr,
+)
+from .operators import (
+    Aggregate,
+    Distinct,
+    Filter,
+    IndexScan,
+    Limit,
+    NestedLoopJoin,
+    PhysicalOp,
+    Project,
+    SeqScan,
+    Sort,
+)
+from .optimizer import CostOracle, optimize
+from .planner import (
+    LogicalAggregate,
+    LogicalDistinct,
+    LogicalFilter,
+    LogicalJoin,
+    LogicalLimit,
+    LogicalPlan,
+    LogicalProject,
+    LogicalScan,
+    LogicalSort,
+    plan_select,
+)
+from .types import SQLType
+
+
+@dataclass
+class QueryResult:
+    """The rows a statement produced (DML reports a rowcount)."""
+
+    columns: List[str] = field(default_factory=list)
+    rows: List[tuple] = field(default_factory=list)
+    rowcount: int = 0
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def scalar(self):
+        """The single value of a single-row, single-column result."""
+        if len(self.rows) != 1 or len(self.rows[0]) != 1:
+            raise ExecutionError(
+                f"scalar() needs a 1x1 result, have "
+                f"{len(self.rows)}x{len(self.columns)}"
+            )
+        return self.rows[0][0]
+
+
+class _QueryUDFResolver(FunctionResolver):
+    """Resolves UDF names to per-query executors, creating them lazily."""
+
+    def __init__(self, registry, binding):
+        self.registry = registry
+        self.binding = binding
+        self.executors: Dict[str, object] = {}
+
+    def resolve_udf(self, name: str):
+        key = name.lower()
+        if self.registry is None or not self.registry.has(key):
+            return None
+        executor = self.executors.get(key)
+        if executor is None:
+            executor = self.registry.executor_for_query(key)
+            executor.begin_query(self.binding)
+            self.executors[key] = executor
+        return executor, executor.definition.signature.param_types
+
+    def finish(self) -> None:
+        for executor in self.executors.values():
+            executor.end_query()
+        self.executors.clear()
+
+
+class _RegistryOracle(CostOracle):
+    def __init__(self, registry):
+        self.registry = registry
+
+    def udf_hints(self, name: str):
+        if self.registry is not None and self.registry.has(name):
+            return self.registry.get(name).cost
+        return None
+
+
+class StatementExecutor:
+    """Executes parsed statements against a database's internals."""
+
+    def __init__(self, database):
+        self.db = database
+
+    # -- dispatch ------------------------------------------------------------
+
+    def execute(self, statement: A.Statement) -> QueryResult:
+        if isinstance(statement, A.Select):
+            return self.execute_select(statement)
+        if isinstance(statement, A.Explain):
+            return self.execute_explain(statement)
+        if isinstance(statement, A.CreateTable):
+            return self._create_table(statement)
+        if isinstance(statement, A.DropTable):
+            return self._drop_table(statement)
+        if isinstance(statement, A.CreateIndex):
+            return self._create_index(statement)
+        if isinstance(statement, A.Insert):
+            return self._insert(statement)
+        if isinstance(statement, A.Update):
+            return self._update(statement)
+        if isinstance(statement, A.Delete):
+            return self._delete(statement)
+        if isinstance(statement, A.CreateFunction):
+            return self._create_function(statement)
+        if isinstance(statement, A.DropFunction):
+            return self._drop_function(statement)
+        raise ExecutionError(f"cannot execute {type(statement).__name__}")
+
+    # -- SELECT ------------------------------------------------------------------
+
+    def execute_select(self, select: A.Select) -> QueryResult:
+        binding = self.db.broker.bind()
+        resolver = _QueryUDFResolver(self.db.registry, binding)
+        runtime = QueryRuntime(lobs=self.db.lobs, binding=binding)
+        try:
+            plan = plan_select(select, self.db.catalog, resolver)
+            plan = optimize(plan, _RegistryOracle(self.db.registry))
+            root = self._physical(plan, resolver, runtime)
+            rows = [tuple(row) for row in root.rows()]
+            return QueryResult(
+                columns=plan.schema.names(), rows=rows, rowcount=len(rows)
+            )
+        finally:
+            resolver.finish()
+
+    def execute_explain(self, statement: A.Explain) -> QueryResult:
+        """Plan + optimize without executing; one row per plan line."""
+        from .explain import explain_plan
+
+        binding = self.db.broker.bind()
+        resolver = _QueryUDFResolver(self.db.registry, binding)
+        try:
+            plan = plan_select(statement.select, self.db.catalog, resolver)
+            plan = optimize(plan, _RegistryOracle(self.db.registry))
+            lines = explain_plan(plan)
+        finally:
+            resolver.finish()
+        return QueryResult(
+            columns=["plan"],
+            rows=[(line,) for line in lines],
+            rowcount=len(lines),
+        )
+
+    def _physical(
+        self,
+        plan: LogicalPlan,
+        resolver: _QueryUDFResolver,
+        runtime: QueryRuntime,
+    ) -> PhysicalOp:
+        pool = self.db.pool
+
+        def compile_all(exprs, schema):
+            return [compile_expr(e, schema, resolver, runtime) for e in exprs]
+
+        if isinstance(plan, LogicalScan):
+            predicates = compile_all(plan.predicates, plan.schema)
+            if plan.index is not None:
+                return IndexScan(
+                    pool, plan.table_info, plan.index,
+                    plan.index_lo, plan.index_hi, predicates,
+                )
+            return SeqScan(pool, plan.table_info, predicates)
+        if isinstance(plan, LogicalJoin):
+            left = self._physical(plan.left, resolver, runtime)
+            right = self._physical(plan.right, resolver, runtime)
+            predicates = compile_all(plan.predicates, plan.schema)
+            return NestedLoopJoin(left, right, predicates)
+        if isinstance(plan, LogicalFilter):
+            child = self._physical(plan.child, resolver, runtime)
+            return Filter(
+                child, compile_all(plan.predicates, plan.child.schema)
+            )
+        if isinstance(plan, LogicalProject):
+            child = self._physical(plan.child, resolver, runtime)
+            return Project(
+                child, compile_all(plan.exprs, plan.child.schema)
+            )
+        if isinstance(plan, LogicalAggregate):
+            child = self._physical(plan.child, resolver, runtime)
+            group_fns = compile_all(plan.group_exprs, plan.child.schema)
+            agg_specs = [
+                (
+                    spec.func,
+                    (
+                        compile_expr(
+                            spec.arg, plan.child.schema, resolver, runtime
+                        )
+                        if spec.arg is not None
+                        else None
+                    ),
+                    spec.distinct,
+                )
+                for spec in plan.aggregates
+            ]
+            return Aggregate(child, group_fns, agg_specs)
+        if isinstance(plan, LogicalDistinct):
+            return Distinct(self._physical(plan.child, resolver, runtime))
+        if isinstance(plan, LogicalSort):
+            child = self._physical(plan.child, resolver, runtime)
+            key_fns = compile_all(plan.keys, plan.child.schema)
+            return Sort(child, key_fns, plan.descending)
+        if isinstance(plan, LogicalLimit):
+            return Limit(
+                self._physical(plan.child, resolver, runtime), plan.limit
+            )
+        raise ExecutionError(f"no physical operator for {type(plan).__name__}")
+
+    # -- DDL ------------------------------------------------------------------------
+
+    def _create_table(self, statement: A.CreateTable) -> QueryResult:
+        if self.db.catalog.has_table(statement.name):
+            raise PlanError(f"table {statement.name!r} already exists")
+        heap = HeapFile.create(self.db.pool)
+        table = TableInfo(
+            name=statement.name,
+            columns=[
+                CatColumn(c.name, c.sql_type.storage_type, c.nullable)
+                for c in statement.columns
+            ],
+            first_page=heap.first_page,
+        )
+        self.db.catalog.add_table(table)
+        return QueryResult()
+
+    def _drop_table(self, statement: A.DropTable) -> QueryResult:
+        table = self.db.catalog.get_table(statement.name)
+        heap = HeapFile(self.db.pool, table.first_page)
+        types = table.column_types()
+        from ..storage.record import deserialize_record
+
+        for __, record in heap.scan():
+            for value in deserialize_record(record, types):
+                if isinstance(value, LOBRef):
+                    self.db.lobs.free(value)
+        heap.drop()
+        self.db.catalog.drop_table(statement.name)
+        return QueryResult()
+
+    def _create_index(self, statement: A.CreateIndex) -> QueryResult:
+        table = self.db.catalog.get_table(statement.table)
+        position = table.column_index(statement.column)
+        if table.columns[position].col_type is not ColumnType.INT:
+            raise PlanError("indexes are supported on INT columns only")
+        if any(i.name.lower() == statement.name.lower() for i in table.indexes):
+            raise PlanError(f"index {statement.name!r} already exists")
+        tree = BPlusTree.create(self.db.pool)
+        heap = HeapFile(self.db.pool, table.first_page)
+        from ..storage.record import deserialize_record
+
+        types = table.column_types()
+        for rid, record in heap.scan():
+            key = deserialize_record(record, types)[position]
+            if key is not None:
+                tree.insert(key, rid)
+        table.indexes.append(
+            IndexInfo(statement.name, statement.column, tree.root_page)
+        )
+        self.db.catalog.save()
+        return QueryResult()
+
+    def _create_function(self, statement: A.CreateFunction) -> QueryResult:
+        from ..core.designs import Design
+        from ..core.udf import CostHints, UDFDefinition, UDFSignature
+
+        design = Design(statement.design)
+        if statement.language != design.language:
+            raise PlanError(
+                f"LANGUAGE {statement.language.upper()} does not match "
+                f"DESIGN {statement.design.upper()}"
+            )
+        if design.is_sandboxed:
+            entry = statement.entry or statement.name
+        else:
+            __, __, func_name = statement.payload.partition(":")
+            entry = statement.entry or func_name
+        hints = CostHints(
+            cost_per_call=(
+                statement.cost if statement.cost is not None else 1000.0
+            ),
+            selectivity=(
+                statement.selectivity
+                if statement.selectivity is not None else 0.5
+            ),
+        )
+        definition = UDFDefinition(
+            name=statement.name,
+            signature=UDFSignature(statement.param_types, statement.ret_type),
+            design=design,
+            payload=statement.payload.encode("utf-8"),
+            entry=entry,
+            callbacks=statement.callbacks,
+            cost=hints,
+            fuel=statement.fuel,
+            memory=statement.memory,
+        )
+        self.db.register_udf(definition)
+        return QueryResult()
+
+    def _drop_function(self, statement: A.DropFunction) -> QueryResult:
+        self.db.unregister_udf(statement.name)
+        return QueryResult()
+
+    # -- DML ---------------------------------------------------------------------------
+
+    def _insert(self, statement: A.Insert) -> QueryResult:
+        table = self.db.catalog.get_table(statement.table)
+        if statement.columns:
+            positions = [table.column_index(c) for c in statement.columns]
+        else:
+            positions = list(range(len(table.columns)))
+        empty = _EMPTY_SCHEMA
+        resolver = FunctionResolver()
+        runtime = QueryRuntime(lobs=self.db.lobs)
+        count = 0
+        for value_exprs in statement.rows:
+            if len(value_exprs) != len(positions):
+                raise PlanError(
+                    f"INSERT supplies {len(value_exprs)} values for "
+                    f"{len(positions)} columns"
+                )
+            values: List[object] = [None] * len(table.columns)
+            provided = [False] * len(table.columns)
+            for position, expr in zip(positions, value_exprs):
+                fn = compile_expr(expr, empty, resolver, runtime)
+                values[position] = fn([])
+                provided[position] = True
+            self.db.insert_row(table, values)
+            count += 1
+        return QueryResult(rowcount=count)
+
+    def _collect_matches(
+        self, table: TableInfo, where: Optional[A.Expr]
+    ) -> List[Tuple[object, List[object]]]:
+        from ..storage.record import deserialize_record
+
+        heap = HeapFile(self.db.pool, table.first_page)
+        types = table.column_types()
+        binding = self.db.broker.bind()
+        resolver = _QueryUDFResolver(self.db.registry, binding)
+        runtime = QueryRuntime(lobs=self.db.lobs, binding=binding)
+        try:
+            predicate = None
+            if where is not None:
+                from .planner import qualify
+                from .types import schema_for_table
+
+                schema = schema_for_table(table)
+                predicate = compile_expr(
+                    qualify(where, schema), schema, resolver, runtime
+                )
+            matches = []
+            for rid, record in heap.scan():
+                row = deserialize_record(record, types)
+                if predicate is None or predicate(row) is True:
+                    matches.append((rid, row))
+            return matches
+        finally:
+            resolver.finish()
+
+    def _delete(self, statement: A.Delete) -> QueryResult:
+        table = self.db.catalog.get_table(statement.table)
+        matches = self._collect_matches(table, statement.where)
+        heap = HeapFile(self.db.pool, table.first_page)
+        for rid, row in matches:
+            for value in row:
+                if isinstance(value, LOBRef):
+                    self.db.lobs.free(value)
+            self._index_remove(table, rid, row)
+            heap.delete(rid)
+        return QueryResult(rowcount=len(matches))
+
+    def _update(self, statement: A.Update) -> QueryResult:
+        table = self.db.catalog.get_table(statement.table)
+        matches = self._collect_matches(table, statement.where)
+        heap = HeapFile(self.db.pool, table.first_page)
+        from .planner import qualify
+        from .types import schema_for_table
+
+        schema = schema_for_table(table)
+        binding = self.db.broker.bind()
+        resolver = _QueryUDFResolver(self.db.registry, binding)
+        runtime = QueryRuntime(lobs=self.db.lobs, binding=binding)
+        try:
+            assignments = [
+                (
+                    table.column_index(name),
+                    compile_expr(qualify(expr, schema), schema, resolver, runtime),
+                )
+                for name, expr in statement.assignments
+            ]
+            for rid, row in matches:
+                new_row = list(row)
+                for position, fn in assignments:
+                    old = new_row[position]
+                    new_value = fn(row)
+                    if isinstance(old, LOBRef):
+                        self.db.lobs.free(old)
+                    new_row[position] = new_value
+                self._index_remove(table, rid, row)
+                record = self.db.encode_row(table, new_row)
+                new_rid = heap.update(rid, record)
+                self._index_add(table, new_rid, new_row)
+        finally:
+            resolver.finish()
+        return QueryResult(rowcount=len(matches))
+
+    # -- index maintenance -----------------------------------------------------------------
+
+    def _index_add(self, table: TableInfo, rid, row: Sequence[object]) -> None:
+        for info in table.indexes:
+            key = row[table.column_index(info.column)]
+            if key is None:
+                continue
+            tree = BPlusTree(self.db.pool, info.root_page)
+            tree.insert(key, rid)
+            if tree.root_page != info.root_page:
+                info.root_page = tree.root_page
+                self.db.catalog.save()
+
+    def _index_remove(self, table: TableInfo, rid, row: Sequence[object]) -> None:
+        for info in table.indexes:
+            key = row[table.column_index(info.column)]
+            if key is None:
+                continue
+            BPlusTree(self.db.pool, info.root_page).delete(key, rid)
+
+
+from .types import RowSchema
+
+_EMPTY_SCHEMA = RowSchema([])

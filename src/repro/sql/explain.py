@@ -1,0 +1,135 @@
+"""EXPLAIN: render optimized plans as text.
+
+The interesting part for this paper is *predicate placement*: EXPLAIN
+shows the per-scan conjunct lists in their optimized (rank) order, so a
+user can see that the cheap ``type = 'tech'`` predicate runs before the
+expensive ``InvestVal(history)`` UDF — the [Hel95]/[Jhi88] behaviour the
+related-work section describes.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from . import ast_nodes as A
+from .planner import (
+    LogicalAggregate,
+    LogicalDistinct,
+    LogicalFilter,
+    LogicalJoin,
+    LogicalLimit,
+    LogicalPlan,
+    LogicalProject,
+    LogicalScan,
+    LogicalSort,
+)
+
+
+def render_expr(expr: A.Expr) -> str:
+    """An expression back to (approximately) its SQL text."""
+    if isinstance(expr, A.Literal):
+        value = expr.value
+        if value is None:
+            return "NULL"
+        if isinstance(value, bool):
+            return "TRUE" if value else "FALSE"
+        if isinstance(value, str):
+            escaped = value.replace("'", "''")
+            return f"'{escaped}'"
+        return repr(value)
+    if isinstance(expr, A.ColumnRef):
+        return f"{expr.table}.{expr.name}" if expr.table else expr.name
+    if isinstance(expr, A.Star):
+        return f"{expr.table}.*" if expr.table else "*"
+    if isinstance(expr, A.BinaryOp):
+        op = expr.op.upper() if expr.op in ("and", "or", "like") else expr.op
+        return f"({render_expr(expr.left)} {op} {render_expr(expr.right)})"
+    if isinstance(expr, A.UnaryOp):
+        if expr.op == "not":
+            return f"(NOT {render_expr(expr.operand)})"
+        return f"({expr.op}{render_expr(expr.operand)})"
+    if isinstance(expr, A.IsNull):
+        suffix = "IS NOT NULL" if expr.negated else "IS NULL"
+        return f"({render_expr(expr.operand)} {suffix})"
+    if isinstance(expr, A.Between):
+        word = "NOT BETWEEN" if expr.negated else "BETWEEN"
+        return (
+            f"({render_expr(expr.operand)} {word} "
+            f"{render_expr(expr.low)} AND {render_expr(expr.high)})"
+        )
+    if isinstance(expr, A.InList):
+        word = "NOT IN" if expr.negated else "IN"
+        items = ", ".join(render_expr(item) for item in expr.items)
+        return f"({render_expr(expr.operand)} {word} ({items}))"
+    if isinstance(expr, A.FuncCall):
+        if expr.star:
+            return f"{expr.name}(*)"
+        args = ", ".join(render_expr(arg) for arg in expr.args)
+        distinct = "DISTINCT " if expr.distinct else ""
+        return f"{expr.name}({distinct}{args})"
+    return repr(expr)
+
+
+def explain_plan(plan: LogicalPlan) -> List[str]:
+    """One indented line per plan node, root first."""
+    lines: List[str] = []
+    _render(plan, 0, lines)
+    return lines
+
+
+def _render(plan: LogicalPlan, depth: int, lines: List[str]) -> None:
+    pad = "  " * depth
+    if isinstance(plan, LogicalScan):
+        if plan.index is not None:
+            bounds = f"[{plan.index_lo}..{plan.index_hi}]"
+            head = (f"IndexScan {plan.table_name} AS {plan.alias} "
+                    f"USING {plan.index.name} {bounds}")
+        else:
+            head = f"SeqScan {plan.table_name} AS {plan.alias}"
+        lines.append(pad + head)
+        for position, predicate in enumerate(plan.predicates):
+            lines.append(
+                f"{pad}  filter[{position}]: {render_expr(predicate)}"
+            )
+        return
+    if isinstance(plan, LogicalJoin):
+        lines.append(pad + "NestedLoopJoin")
+        for position, predicate in enumerate(plan.predicates):
+            lines.append(f"{pad}  on[{position}]: {render_expr(predicate)}")
+        _render(plan.left, depth + 1, lines)
+        _render(plan.right, depth + 1, lines)
+        return
+    if isinstance(plan, LogicalFilter):
+        lines.append(pad + "Filter")
+        for position, predicate in enumerate(plan.predicates):
+            lines.append(
+                f"{pad}  filter[{position}]: {render_expr(predicate)}"
+            )
+    elif isinstance(plan, LogicalProject):
+        rendered = ", ".join(
+            f"{render_expr(expr)} AS {name}"
+            for expr, name in zip(plan.exprs, plan.names)
+        )
+        lines.append(pad + f"Project [{rendered}]")
+    elif isinstance(plan, LogicalAggregate):
+        groups = ", ".join(render_expr(e) for e in plan.group_exprs)
+        aggs = ", ".join(
+            f"{spec.func}({render_expr(spec.arg) if spec.arg else '*'})"
+            for spec in plan.aggregates
+        )
+        lines.append(pad + f"Aggregate groups=[{groups}] aggs=[{aggs}]")
+    elif isinstance(plan, LogicalDistinct):
+        lines.append(pad + "Distinct")
+    elif isinstance(plan, LogicalSort):
+        keys = ", ".join(
+            f"{render_expr(key)} {'DESC' if desc else 'ASC'}"
+            for key, desc in zip(plan.keys, plan.descending)
+        )
+        lines.append(pad + f"Sort [{keys}]")
+    elif isinstance(plan, LogicalLimit):
+        lines.append(pad + f"Limit {plan.limit}")
+    else:
+        lines.append(pad + type(plan).__name__)
+    child = getattr(plan, "child", None)
+    if child is not None:
+        _render(child, depth + 1, lines)

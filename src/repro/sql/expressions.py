@@ -1,0 +1,449 @@
+"""Expression compilation and evaluation.
+
+SQL expressions compile to Python closures over the row (a plain list of
+values), once per query — not interpreted per tuple.  Three-valued NULL
+logic follows SQL: NULL propagates through arithmetic and comparisons,
+``AND``/``OR`` use Kleene logic, and WHERE treats NULL as false.
+
+UDF invocation happens here: a :class:`UDFCallSite` closes over the
+executor chosen for the query (one of the six designs) and the argument
+closures.  Byte-array arguments are materialized from LOB storage when
+the UDF takes them *by value*; parameters declared ``handle`` instead
+register the object with the query's callback binding and pass a small
+integer — the two access strategies whose trade-off Section 5.5
+measures.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..errors import ExecutionError, PlanError
+from ..storage.lob import LOBRef
+from . import ast_nodes as A
+from .types import RowSchema, SQLType
+
+EvalFn = Callable[[Sequence[object]], object]
+
+#: Aggregate function names (handled by the Aggregate operator, never
+#: compiled as scalar calls).
+AGGREGATE_NAMES = frozenset({"count", "sum", "avg", "min", "max"})
+
+
+class QueryRuntime:
+    """Per-query services expression evaluation needs.
+
+    * LOB materialization for by-value byte arguments;
+    * handle registration for handle-mode UDF arguments;
+    * the UDF executors selected for this query.
+    """
+
+    def __init__(self, lobs=None, binding=None):
+        self.lobs = lobs
+        self.binding = binding
+        self._next_handle = 1
+        self.udf_executors = {}
+
+    def materialize(self, value: object) -> object:
+        """Resolve a stored LOB reference into bytes (by-value access)."""
+        if isinstance(value, LOBRef):
+            if self.lobs is None:
+                raise ExecutionError(
+                    "LOB value encountered without a LOB manager"
+                )
+            return self.lobs.read(value)
+        return value
+
+    def make_handle(self, value: object) -> int:
+        """Register an object for callback access; returns the handle."""
+        if self.binding is None:
+            raise ExecutionError(
+                "handle-mode UDF argument without a callback binding"
+            )
+        if isinstance(value, LOBRef):
+            if self.lobs is None:
+                raise ExecutionError("LOB handle without a LOB manager")
+            value = self.lobs.handle(value)
+        handle = self._next_handle
+        self._next_handle += 1
+        self.binding.add_handle(handle, value)
+        return handle
+
+
+class UDFCallSite:
+    """A compiled UDF call within an expression."""
+
+    __slots__ = ("name", "executor", "param_types", "arg_fns", "runtime")
+
+    def __init__(self, name, executor, param_types, arg_fns, runtime):
+        self.name = name
+        self.executor = executor
+        self.param_types = param_types
+        self.arg_fns = arg_fns
+        self.runtime = runtime
+
+    def __call__(self, row: Sequence[object]) -> object:
+        args = []
+        for fn, param_type in zip(self.arg_fns, self.param_types):
+            value = fn(row)
+            if value is None:
+                return None  # strict NULL semantics for UDFs
+            if param_type == "bytes":
+                value = self.runtime.materialize(value)
+            elif param_type == "handle":
+                value = self.runtime.make_handle(value)
+            elif param_type == "float" and isinstance(value, int):
+                value = float(value)
+            args.append(value)
+        return self.executor.invoke(args)
+
+
+class FunctionResolver:
+    """Maps function names in expressions to call sites.
+
+    The default resolver knows only built-ins; the executor subclasses
+    it with UDF knowledge (registry + per-query executors).
+    """
+
+    def resolve_udf(self, name: str):
+        """Return (executor, param_type_names) or None."""
+        return None
+
+
+def compile_expr(
+    expr: A.Expr,
+    schema: RowSchema,
+    resolver: Optional[FunctionResolver] = None,
+    runtime: Optional[QueryRuntime] = None,
+) -> EvalFn:
+    """Compile an expression into a row -> value closure."""
+    resolver = resolver or FunctionResolver()
+    runtime = runtime or QueryRuntime()
+    return _compile(expr, schema, resolver, runtime)
+
+
+def _compile(expr, schema, resolver, runtime) -> EvalFn:
+    if isinstance(expr, A.Literal):
+        value = expr.value
+        return lambda row: value
+    if isinstance(expr, A.ColumnRef):
+        index = schema.resolve(expr.name, expr.table)
+        return lambda row: row[index]
+    if isinstance(expr, A.BinaryOp):
+        return _compile_binary(expr, schema, resolver, runtime)
+    if isinstance(expr, A.UnaryOp):
+        operand = _compile(expr.operand, schema, resolver, runtime)
+        if expr.op == "-":
+            return lambda row: None if (v := operand(row)) is None else -v
+        if expr.op == "not":
+            def negate(row):
+                value = operand(row)
+                return None if value is None else not value
+            return negate
+        raise PlanError(f"unknown unary operator {expr.op!r}")
+    if isinstance(expr, A.IsNull):
+        operand = _compile(expr.operand, schema, resolver, runtime)
+        if expr.negated:
+            return lambda row: operand(row) is not None
+        return lambda row: operand(row) is None
+    if isinstance(expr, A.Between):
+        operand = _compile(expr.operand, schema, resolver, runtime)
+        low = _compile(expr.low, schema, resolver, runtime)
+        high = _compile(expr.high, schema, resolver, runtime)
+        negated = expr.negated
+
+        def between(row):
+            value = operand(row)
+            lo = low(row)
+            hi = high(row)
+            if value is None or lo is None or hi is None:
+                return None
+            result = lo <= value <= hi
+            return (not result) if negated else result
+
+        return between
+    if isinstance(expr, A.InList):
+        operand = _compile(expr.operand, schema, resolver, runtime)
+        items = [_compile(item, schema, resolver, runtime)
+                 for item in expr.items]
+        negated = expr.negated
+
+        def in_list(row):
+            value = operand(row)
+            if value is None:
+                return None
+            found = any(fn(row) == value for fn in items)
+            return (not found) if negated else found
+
+        return in_list
+    if isinstance(expr, A.FuncCall):
+        return _compile_call(expr, schema, resolver, runtime)
+    if isinstance(expr, A.Star):
+        raise PlanError("'*' is only valid in SELECT lists and COUNT(*)")
+    raise PlanError(f"cannot compile expression {expr!r}")
+
+
+def _compile_binary(expr, schema, resolver, runtime) -> EvalFn:
+    op = expr.op
+    left = _compile(expr.left, schema, resolver, runtime)
+    right = _compile(expr.right, schema, resolver, runtime)
+
+    if op == "and":
+        def kleene_and(row):
+            a = left(row)
+            if a is False:
+                return False
+            b = right(row)
+            if b is False:
+                return False
+            if a is None or b is None:
+                return None
+            return True
+        return kleene_and
+    if op == "or":
+        def kleene_or(row):
+            a = left(row)
+            if a is True:
+                return True
+            b = right(row)
+            if b is True:
+                return True
+            if a is None or b is None:
+                return None
+            return False
+        return kleene_or
+    if op == "like":
+        return _compile_like(left, right)
+
+    arith = _ARITH.get(op)
+    if arith is not None:
+        def arithmetic(row):
+            a = left(row)
+            b = right(row)
+            if a is None or b is None:
+                return None
+            return arith(a, b)
+        return arithmetic
+    compare = _COMPARE.get(op)
+    if compare is not None:
+        def comparison(row):
+            a = left(row)
+            b = right(row)
+            if a is None or b is None:
+                return None
+            return compare(a, b)
+        return comparison
+    raise PlanError(f"unknown binary operator {op!r}")
+
+
+def _sql_div(a, b):
+    if b == 0:
+        raise ExecutionError("division by zero")
+    if isinstance(a, int) and isinstance(b, int):
+        return a // b
+    return a / b
+
+
+def _sql_mod(a, b):
+    if b == 0:
+        raise ExecutionError("modulo by zero")
+    return a % b
+
+
+_ARITH = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": _sql_div,
+    "%": _sql_mod,
+}
+
+_COMPARE = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+def _compile_like(left: EvalFn, right: EvalFn) -> EvalFn:
+    def like(row):
+        value = left(row)
+        pattern = right(row)
+        if value is None or pattern is None:
+            return None
+        regex = _like_regex(pattern)
+        return regex.fullmatch(value) is not None
+
+    return like
+
+
+def _like_regex(pattern: str) -> "re.Pattern":
+    parts = []
+    for char in pattern:
+        if char == "%":
+            parts.append(".*")
+        elif char == "_":
+            parts.append(".")
+        else:
+            parts.append(re.escape(char))
+    return re.compile("".join(parts), re.DOTALL)
+
+
+# ---------------------------------------------------------------------------
+# Scalar built-ins
+# ---------------------------------------------------------------------------
+
+def _patbytes(n: int, seed: int) -> bytes:
+    """Deterministic pseudo-random bytes (LCG) for workload building."""
+    out = bytearray(n)
+    state = (seed * 2654435761 + 1) & 0xFFFFFFFF
+    for index in range(n):
+        state = (state * 1103515245 + 12345) & 0x7FFFFFFF
+        out[index] = (state >> 16) & 0xFF
+    return bytes(out)
+
+
+def _length(value) -> int:
+    if isinstance(value, LOBRef):
+        # Large objects know their length without being materialized.
+        return value.length
+    return len(value)
+
+
+_BUILTINS = {
+    "abs": (1, abs),
+    "length": (1, _length),
+    "upper": (1, lambda s: s.upper()),
+    "lower": (1, lambda s: s.lower()),
+    "sqrt": (1, lambda x: float(x) ** 0.5),
+    "floor": (1, lambda x: int(x // 1)),
+    "ceil": (1, lambda x: int(-((-x) // 1))),
+    "round": (1, lambda x: round(x)),
+    "zerobytes": (1, lambda n: bytes(int(n))),
+    "patbytes": (2, _patbytes),
+}
+
+
+def _compile_call(expr: A.FuncCall, schema, resolver, runtime) -> EvalFn:
+    name = expr.name.lower()
+    if name in AGGREGATE_NAMES:
+        raise PlanError(
+            f"aggregate {name!r} is not allowed in this context"
+        )
+    udf = resolver.resolve_udf(name)
+    if udf is not None:
+        executor, param_types = udf
+        if len(expr.args) != len(param_types):
+            raise PlanError(
+                f"UDF {name!r} takes {len(param_types)} arguments, "
+                f"got {len(expr.args)}"
+            )
+        arg_fns = [
+            _compile(arg, schema, resolver, runtime) for arg in expr.args
+        ]
+        return UDFCallSite(name, executor, param_types, arg_fns, runtime)
+    builtin = _BUILTINS.get(name)
+    if builtin is not None:
+        arity, fn = builtin
+        if len(expr.args) != arity:
+            raise PlanError(
+                f"{name}() takes {arity} argument(s), got {len(expr.args)}"
+            )
+        arg_fns = [
+            _compile(arg, schema, resolver, runtime) for arg in expr.args
+        ]
+
+        def call(row):
+            args = [f(row) for f in arg_fns]
+            if any(a is None for a in args):
+                return None
+            return fn(*args)
+
+        return call
+    raise PlanError(f"unknown function {expr.name!r}")
+
+
+# ---------------------------------------------------------------------------
+# Light type inference (for output schemas)
+# ---------------------------------------------------------------------------
+
+def infer_type(
+    expr: A.Expr, schema: RowSchema, resolver: Optional[FunctionResolver] = None
+) -> SQLType:
+    """Best-effort static type; falls back to NULL for unknowns."""
+    if isinstance(expr, A.Literal):
+        value = expr.value
+        if isinstance(value, bool):
+            return SQLType.BOOL
+        if isinstance(value, int):
+            return SQLType.INT
+        if isinstance(value, float):
+            return SQLType.FLOAT
+        if isinstance(value, str):
+            return SQLType.STRING
+        return SQLType.NULL
+    if isinstance(expr, A.ColumnRef):
+        index = schema.resolve(expr.name, expr.table)
+        return schema.columns[index].sql_type
+    if isinstance(expr, A.BinaryOp):
+        if expr.op in ("and", "or", "like") or expr.op in _COMPARE:
+            return SQLType.BOOL
+        left = infer_type(expr.left, schema, resolver)
+        right = infer_type(expr.right, schema, resolver)
+        if SQLType.FLOAT in (left, right):
+            return SQLType.FLOAT
+        if left is SQLType.INT and right is SQLType.INT:
+            return SQLType.INT
+        return left if left is not SQLType.NULL else right
+    if isinstance(expr, A.UnaryOp):
+        if expr.op == "not":
+            return SQLType.BOOL
+        return infer_type(expr.operand, schema, resolver)
+    if isinstance(expr, (A.IsNull, A.Between, A.InList)):
+        return SQLType.BOOL
+    if isinstance(expr, A.FuncCall):
+        return _infer_call_type(expr, resolver)
+    return SQLType.NULL
+
+
+_UDF_RESULT_TYPES = {
+    "int": SQLType.INT,
+    "float": SQLType.FLOAT,
+    "bool": SQLType.BOOL,
+    "str": SQLType.STRING,
+    "bytes": SQLType.BYTES,
+    "farr": SQLType.FLOATARR,
+    "handle": SQLType.INT,
+}
+
+_BUILTIN_RESULT_TYPES = {
+    "abs": SQLType.FLOAT,
+    "length": SQLType.INT,
+    "upper": SQLType.STRING,
+    "lower": SQLType.STRING,
+    "sqrt": SQLType.FLOAT,
+    "floor": SQLType.INT,
+    "ceil": SQLType.INT,
+    "round": SQLType.INT,
+    "zerobytes": SQLType.BYTES,
+    "patbytes": SQLType.BYTES,
+}
+
+
+def _infer_call_type(expr: A.FuncCall, resolver) -> SQLType:
+    name = expr.name.lower()
+    if name == "count":
+        return SQLType.INT
+    if name in ("sum", "avg", "min", "max"):
+        return SQLType.FLOAT
+    if resolver is not None:
+        udf = resolver.resolve_udf(name)
+        if udf is not None:
+            executor, __ = udf
+            ret = executor.definition.signature.ret_type
+            return _UDF_RESULT_TYPES.get(ret, SQLType.NULL)
+    return _BUILTIN_RESULT_TYPES.get(name, SQLType.NULL)

@@ -1,0 +1,139 @@
+"""SQL tokenizer.
+
+Hand-rolled single-pass scanner.  Keywords and identifiers are
+case-insensitive (identifiers are lowered); string literals use single
+quotes with ``''`` as the escape, and ``--`` starts a line comment.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List
+
+from ..errors import LexError
+
+
+class TokenType(enum.Enum):
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    INT = "int"
+    FLOAT = "float"
+    STRING = "string"
+    OP = "op"
+    EOF = "eof"
+
+
+KEYWORDS = frozenset(
+    """
+    select from where group by order asc desc limit and or not null is
+    insert into values update set delete create drop table index on
+    function returns language design entry callbacks cost selectivity as
+    true false distinct count sum avg min max like between in exists
+    inner join cross using fuel memory explain
+    """.split()
+)
+
+#: Multi-character operators first so the scanner is greedy.
+_OPERATORS = ("<=", ">=", "<>", "!=", "=", "<", ">", "+", "-", "*", "/",
+              "%", "(", ")", ",", ";", ".")
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    value: str
+    position: int
+
+    def matches(self, token_type: TokenType, value: str = None) -> bool:
+        if self.type is not token_type:
+            return False
+        return value is None or self.value == value
+
+
+def tokenize(text: str) -> List[Token]:
+    tokens: List[Token] = []
+    pos = 0
+    length = len(text)
+    while pos < length:
+        char = text[pos]
+        if char.isspace():
+            pos += 1
+            continue
+        if char == "-" and text.startswith("--", pos):
+            newline = text.find("\n", pos)
+            pos = length if newline < 0 else newline + 1
+            continue
+        if char == "'":
+            value, pos = _scan_string(text, pos)
+            tokens.append(Token(TokenType.STRING, value, pos))
+            continue
+        if char.isdigit() or (
+            char == "." and pos + 1 < length and text[pos + 1].isdigit()
+        ):
+            token, pos = _scan_number(text, pos)
+            tokens.append(token)
+            continue
+        if char.isalpha() or char == "_":
+            start = pos
+            while pos < length and (text[pos].isalnum() or text[pos] == "_"):
+                pos += 1
+            word = text[start:pos].lower()
+            token_type = (
+                TokenType.KEYWORD if word in KEYWORDS else TokenType.IDENT
+            )
+            tokens.append(Token(token_type, word, start))
+            continue
+        for op in _OPERATORS:
+            if text.startswith(op, pos):
+                tokens.append(Token(TokenType.OP, op, pos))
+                pos += len(op)
+                break
+        else:
+            raise LexError(f"unexpected character {char!r}", pos)
+    tokens.append(Token(TokenType.EOF, "", length))
+    return tokens
+
+
+def _scan_string(text: str, pos: int) -> tuple:
+    start = pos
+    pos += 1
+    parts: List[str] = []
+    while pos < len(text):
+        char = text[pos]
+        if char == "'":
+            if text.startswith("''", pos):
+                parts.append("'")
+                pos += 2
+                continue
+            return "".join(parts), pos + 1
+        parts.append(char)
+        pos += 1
+    raise LexError("unterminated string literal", start)
+
+
+def _scan_number(text: str, pos: int) -> tuple:
+    start = pos
+    length = len(text)
+    seen_dot = False
+    seen_exp = False
+    while pos < length:
+        char = text[pos]
+        if char.isdigit():
+            pos += 1
+        elif char == "." and not seen_dot and not seen_exp:
+            seen_dot = True
+            pos += 1
+        elif char in "eE" and not seen_exp and pos + 1 < length and (
+            text[pos + 1].isdigit()
+            or (text[pos + 1] in "+-" and pos + 2 < length
+                and text[pos + 2].isdigit())
+        ):
+            seen_exp = True
+            pos += 2 if text[pos + 1] in "+-" else 1
+        else:
+            break
+    literal = text[start:pos]
+    if seen_dot or seen_exp:
+        return Token(TokenType.FLOAT, literal, start), pos
+    return Token(TokenType.INT, literal, start), pos

@@ -1,0 +1,268 @@
+"""Physical (Volcano-style) operators.
+
+Each operator exposes ``rows()``, a generator of value lists.  PREDATOR
+"is not a parallel OR-DBMS ... all expressions (including UDFs) are
+evaluated in a serial manner" — and so are these.
+
+The scan deserializes records via the table's storage schema; large
+byte-array values surface as :class:`~repro.storage.lob.LOBRef` and stay
+lazy until an expression needs them (by value or by handle).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Optional, Sequence
+
+from ..errors import ExecutionError
+from ..storage.btree import BPlusTree
+from ..storage.heapfile import HeapFile
+from ..storage.record import deserialize_record
+from .expressions import EvalFn
+
+Row = List[object]
+
+
+class PhysicalOp:
+    def rows(self) -> Iterator[Row]:
+        raise NotImplementedError
+
+
+class SeqScan(PhysicalOp):
+    """Full scan of a heap file with optional residual predicates."""
+
+    def __init__(self, pool, table_info, predicates: Sequence[EvalFn] = ()):
+        self.pool = pool
+        self.table_info = table_info
+        self.predicates = list(predicates)
+        self._types = table_info.column_types()
+
+    def rows(self) -> Iterator[Row]:
+        heap = HeapFile(self.pool, self.table_info.first_page)
+        predicates = self.predicates
+        types = self._types
+        for __, record in heap.scan():
+            row = deserialize_record(record, types)
+            if all(p(row) is True for p in predicates):
+                yield row
+
+
+class IndexScan(PhysicalOp):
+    """B+-tree range scan feeding record fetches."""
+
+    def __init__(
+        self,
+        pool,
+        table_info,
+        index_info,
+        lo: Optional[int],
+        hi: Optional[int],
+        predicates: Sequence[EvalFn] = (),
+    ):
+        self.pool = pool
+        self.table_info = table_info
+        self.index_info = index_info
+        self.lo = lo
+        self.hi = hi
+        self.predicates = list(predicates)
+        self._types = table_info.column_types()
+
+    def rows(self) -> Iterator[Row]:
+        tree = BPlusTree(self.pool, self.index_info.root_page)
+        heap = HeapFile(self.pool, self.table_info.first_page)
+        for __, rid in tree.range_scan(self.lo, self.hi):
+            row = deserialize_record(heap.get(rid), self._types)
+            if all(p(row) is True for p in self.predicates):
+                yield row
+
+
+class Filter(PhysicalOp):
+    def __init__(self, child: PhysicalOp, predicates: Sequence[EvalFn]):
+        self.child = child
+        self.predicates = list(predicates)
+
+    def rows(self) -> Iterator[Row]:
+        predicates = self.predicates
+        for row in self.child.rows():
+            if all(p(row) is True for p in predicates):
+                yield row
+
+
+class Project(PhysicalOp):
+    def __init__(self, child: PhysicalOp, exprs: Sequence[EvalFn]):
+        self.child = child
+        self.exprs = list(exprs)
+
+    def rows(self) -> Iterator[Row]:
+        exprs = self.exprs
+        for row in self.child.rows():
+            yield [fn(row) for fn in exprs]
+
+
+class NestedLoopJoin(PhysicalOp):
+    """Block nested-loop cross join with optional join predicates.
+
+    The right input is materialized once (PREDATOR's serial executor did
+    the same for its inner relations).
+    """
+
+    def __init__(
+        self,
+        left: PhysicalOp,
+        right: PhysicalOp,
+        predicates: Sequence[EvalFn] = (),
+    ):
+        self.left = left
+        self.right = right
+        self.predicates = list(predicates)
+
+    def rows(self) -> Iterator[Row]:
+        inner = [list(row) for row in self.right.rows()]
+        predicates = self.predicates
+        for left_row in self.left.rows():
+            for right_row in inner:
+                row = left_row + right_row
+                if all(p(row) is True for p in predicates):
+                    yield row
+
+
+class Aggregate(PhysicalOp):
+    """Hash aggregation over group keys."""
+
+    def __init__(
+        self,
+        child: PhysicalOp,
+        group_fns: Sequence[EvalFn],
+        agg_specs: Sequence[tuple],  # (func, arg_fn|None, distinct)
+    ):
+        self.child = child
+        self.group_fns = list(group_fns)
+        self.agg_specs = list(agg_specs)
+
+    def rows(self) -> Iterator[Row]:
+        groups = {}
+        order: List[tuple] = []
+        for row in self.child.rows():
+            key = tuple(fn(row) for fn in self.group_fns)
+            state = groups.get(key)
+            if state is None:
+                state = [_AggState(func, distinct)
+                         for func, __, distinct in self.agg_specs]
+                groups[key] = state
+                order.append(key)
+            for agg_state, (func, arg_fn, __) in zip(state, self.agg_specs):
+                value = arg_fn(row) if arg_fn is not None else _COUNT_STAR
+                agg_state.update(value)
+        if not order and not self.group_fns:
+            # Aggregate over an empty input still yields one row.
+            state = [_AggState(func, distinct)
+                     for func, __, distinct in self.agg_specs]
+            yield [s.result() for s in state]
+            return
+        for key in order:
+            yield list(key) + [s.result() for s in groups[key]]
+
+
+_COUNT_STAR = object()
+
+
+class _AggState:
+    __slots__ = ("func", "distinct", "count", "total", "extreme", "seen")
+
+    def __init__(self, func: str, distinct: bool):
+        self.func = func
+        self.distinct = distinct
+        self.count = 0
+        self.total = 0.0
+        self.extreme = None
+        self.seen = set() if distinct else None
+
+    def update(self, value) -> None:
+        if value is _COUNT_STAR:
+            self.count += 1
+            return
+        if value is None:
+            return  # SQL aggregates skip NULLs
+        if self.seen is not None:
+            key = value
+            if key in self.seen:
+                return
+            self.seen.add(key)
+        self.count += 1
+        if self.func in ("sum", "avg"):
+            self.total += value
+        elif self.func == "min":
+            self.extreme = value if self.extreme is None else min(self.extreme, value)
+        elif self.func == "max":
+            self.extreme = value if self.extreme is None else max(self.extreme, value)
+
+    def result(self):
+        if self.func == "count":
+            return self.count
+        if self.func == "sum":
+            return self.total if self.count else None
+        if self.func == "avg":
+            return (self.total / self.count) if self.count else None
+        return self.extreme
+
+
+class Sort(PhysicalOp):
+    def __init__(
+        self,
+        child: PhysicalOp,
+        key_fns: Sequence[EvalFn],
+        descending: Sequence[bool],
+    ):
+        self.child = child
+        self.key_fns = list(key_fns)
+        self.descending = list(descending)
+
+    def rows(self) -> Iterator[Row]:
+        materialized = list(self.child.rows())
+        # Stable multi-key sort: apply keys right-to-left.
+        for key_fn, desc in reversed(list(zip(self.key_fns, self.descending))):
+            materialized.sort(
+                key=lambda row: _null_last(key_fn(row)), reverse=desc
+            )
+        return iter(materialized)
+
+
+def _null_last(value):
+    """Sort key wrapper: NULLs order after every real value."""
+    return (value is None, value)
+
+
+class Distinct(PhysicalOp):
+    def __init__(self, child: PhysicalOp):
+        self.child = child
+
+    def rows(self) -> Iterator[Row]:
+        seen = set()
+        for row in self.child.rows():
+            key = tuple(
+                bytes(v) if isinstance(v, bytearray) else v for v in row
+            )
+            try:
+                new = key not in seen
+            except TypeError:
+                raise ExecutionError(
+                    "DISTINCT over unhashable values is not supported"
+                ) from None
+            if new:
+                seen.add(key)
+                yield row
+
+
+class Limit(PhysicalOp):
+    def __init__(self, child: PhysicalOp, limit: int):
+        self.child = child
+        self.limit = limit
+
+    def rows(self) -> Iterator[Row]:
+        remaining = self.limit
+        if remaining <= 0:
+            return
+        for row in self.child.rows():
+            yield row
+            remaining -= 1
+            if remaining == 0:
+                return

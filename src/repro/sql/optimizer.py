@@ -1,0 +1,331 @@
+"""Rule-based optimizer.
+
+Three rewrites, each motivated by the paper's setting:
+
+1. **Predicate pushdown** — single-table conjuncts move from filters and
+   joins down to their scans, so UDF predicates apply "at the early
+   stages of a query evaluation plan at the server" (Section 2.2's
+   stated motivation for server-side UDFs).
+2. **Expensive-predicate ordering** — within each conjunct list,
+   predicates are ordered by Hellerstein's rank, (selectivity - 1) /
+   cost-per-tuple [Hel95, Jhi88].  Cheap selective predicates run before
+   expensive UDFs, which is exactly how the paper's benchmark queries
+   use "restrictive (and inexpensive) predicates in the WHERE clause"
+   to control how many tuples reach the UDF.
+3. **Index selection** — an equality or range conjunct over an indexed
+   integer column turns the scan into a B+-tree index scan.
+
+Cost and selectivity for UDFs come from their registration's
+:class:`~repro.core.udf.CostHints`; built-in comparisons use standard
+textbook heuristics.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set, Tuple
+
+from . import ast_nodes as A
+from .planner import (
+    LogicalAggregate,
+    LogicalDistinct,
+    LogicalFilter,
+    LogicalJoin,
+    LogicalLimit,
+    LogicalPlan,
+    LogicalProject,
+    LogicalScan,
+    LogicalSort,
+)
+
+#: Default heuristics for built-in predicate shapes.
+_EQ_SELECTIVITY = 0.1
+_RANGE_SELECTIVITY = 0.3
+_DEFAULT_SELECTIVITY = 0.5
+_BUILTIN_COST = 1.0
+
+
+class CostOracle:
+    """Answers cost/selectivity questions about predicates.
+
+    ``udf_hints(name)`` should return a
+    :class:`~repro.core.udf.CostHints` or None; the executor wires this
+    to the UDF registry.
+    """
+
+    def udf_hints(self, name: str):
+        return None
+
+    # -- predicate metrics ------------------------------------------------
+
+    def predicate_cost(self, expr: A.Expr) -> float:
+        cost = _BUILTIN_COST
+        for call in _function_calls(expr):
+            hints = self.udf_hints(call.name.lower())
+            if hints is not None:
+                cost += hints.cost_per_call
+        return cost
+
+    def predicate_selectivity(self, expr: A.Expr) -> float:
+        for call in _function_calls(expr):
+            hints = self.udf_hints(call.name.lower())
+            if hints is not None:
+                return hints.selectivity
+        if isinstance(expr, A.BinaryOp):
+            if expr.op == "=":
+                return _EQ_SELECTIVITY
+            if expr.op in ("<", "<=", ">", ">="):
+                return _RANGE_SELECTIVITY
+        if isinstance(expr, A.Between):
+            return _RANGE_SELECTIVITY
+        return _DEFAULT_SELECTIVITY
+
+    def rank(self, expr: A.Expr) -> float:
+        """Hellerstein's rank: run predicates in increasing rank order."""
+        cost = self.predicate_cost(expr)
+        selectivity = self.predicate_selectivity(expr)
+        return (selectivity - 1.0) / cost
+
+
+def optimize(plan: LogicalPlan, oracle: Optional[CostOracle] = None) -> LogicalPlan:
+    """Apply all rewrites; returns the (mutated) plan."""
+    oracle = oracle or CostOracle()
+    plan = _pushdown(plan)
+    _order_predicates(plan, oracle)
+    _select_indexes(plan)
+    return plan
+
+
+# ---------------------------------------------------------------------------
+# Rewrite 1: predicate pushdown
+# ---------------------------------------------------------------------------
+
+def _pushdown(plan: LogicalPlan) -> LogicalPlan:
+    if isinstance(plan, LogicalFilter):
+        child = _pushdown(plan.child)
+        remaining = [
+            predicate for predicate in plan.predicates
+            if not _try_push(child, predicate)
+        ]
+        if not remaining:
+            return child
+        plan.child = child
+        plan.predicates = remaining
+        return plan
+    if isinstance(plan, LogicalJoin):
+        plan.left = _pushdown(plan.left)
+        plan.right = _pushdown(plan.right)
+        remaining = [
+            predicate for predicate in plan.predicates
+            if not (
+                _try_push(plan.left, predicate)
+                or _try_push(plan.right, predicate)
+            )
+        ]
+        plan.predicates = remaining
+        return plan
+    for attr in ("child",):
+        child = getattr(plan, attr, None)
+        if child is not None:
+            setattr(plan, attr, _pushdown(child))
+    return plan
+
+
+def _try_push(plan: LogicalPlan, predicate: A.Expr) -> bool:
+    """Push a conjunct to the deepest node that can evaluate it."""
+    tables = _referenced_tables(predicate)
+    if isinstance(plan, LogicalScan):
+        if tables <= {plan.alias.lower()} or not tables:
+            plan.predicates.append(predicate)
+            return True
+        return False
+    if isinstance(plan, LogicalJoin):
+        if _try_push(plan.left, predicate):
+            return True
+        if _try_push(plan.right, predicate):
+            return True
+        left_labels = _plan_labels(plan.left)
+        right_labels = _plan_labels(plan.right)
+        if tables <= (left_labels | right_labels):
+            plan.predicates.append(predicate)
+            return True
+        return False
+    if isinstance(plan, LogicalFilter):
+        if _try_push(plan.child, predicate):
+            return True
+        plan.predicates.append(predicate)
+        return True
+    return False
+
+
+def _referenced_tables(expr: A.Expr) -> Set[str]:
+    """Aliases a predicate references; unqualified refs count as 'any'.
+
+    An unqualified column could belong to any input, so predicates with
+    unqualified references are treated as multi-table and stay put
+    unless the plan has exactly one table (handled by the scan case
+    accepting empty sets only for single-scan plans).
+    """
+    tables: Set[str] = set()
+    unqualified = [False]
+
+    def walk(node: A.Expr) -> None:
+        if isinstance(node, A.ColumnRef):
+            if node.table:
+                tables.add(node.table.lower())
+            else:
+                unqualified[0] = True
+        elif isinstance(node, A.BinaryOp):
+            walk(node.left)
+            walk(node.right)
+        elif isinstance(node, A.UnaryOp):
+            walk(node.operand)
+        elif isinstance(node, A.IsNull):
+            walk(node.operand)
+        elif isinstance(node, A.Between):
+            walk(node.operand)
+            walk(node.low)
+            walk(node.high)
+        elif isinstance(node, A.InList):
+            walk(node.operand)
+            for item in node.items:
+                walk(item)
+        elif isinstance(node, A.FuncCall):
+            for arg in node.args:
+                walk(arg)
+
+    walk(expr)
+    if unqualified[0]:
+        tables.add("*unqualified*")
+    return tables
+
+
+def _plan_labels(plan: LogicalPlan) -> Set[str]:
+    if isinstance(plan, LogicalScan):
+        return {plan.alias.lower()}
+    labels: Set[str] = set()
+    for attr in ("child", "left", "right"):
+        child = getattr(plan, attr, None)
+        if child is not None:
+            labels |= _plan_labels(child)
+    return labels
+
+
+# ---------------------------------------------------------------------------
+# Rewrite 2: expensive-predicate ordering
+# ---------------------------------------------------------------------------
+
+def _order_predicates(plan: LogicalPlan, oracle: CostOracle) -> None:
+    if isinstance(plan, (LogicalScan, LogicalFilter, LogicalJoin)):
+        plan.predicates.sort(key=oracle.rank)
+    for attr in ("child", "left", "right"):
+        child = getattr(plan, attr, None)
+        if child is not None:
+            _order_predicates(child, oracle)
+
+
+# ---------------------------------------------------------------------------
+# Rewrite 3: index selection
+# ---------------------------------------------------------------------------
+
+def _select_indexes(plan: LogicalPlan) -> None:
+    if isinstance(plan, LogicalScan) and plan.table_info.indexes:
+        _choose_index(plan)
+    for attr in ("child", "left", "right"):
+        child = getattr(plan, attr, None)
+        if child is not None:
+            _select_indexes(child)
+
+
+def _choose_index(scan: LogicalScan) -> None:
+    indexed = {index.column.lower(): index for index in scan.table_info.indexes}
+    for position, predicate in enumerate(scan.predicates):
+        bounds = _index_bounds(predicate, indexed, scan.alias)
+        if bounds is None:
+            continue
+        index_info, lo, hi = bounds
+        scan.index = index_info
+        scan.index_lo = lo
+        scan.index_hi = hi
+        # The index enforces this conjunct; drop it from the residual.
+        del scan.predicates[position]
+        return
+
+
+def _index_bounds(
+    predicate: A.Expr, indexed: dict, alias: str
+) -> Optional[Tuple[object, Optional[int], Optional[int]]]:
+    if isinstance(predicate, A.BinaryOp) and predicate.op in (
+        "=", "<", "<=", ">", ">=",
+    ):
+        column, literal, op = _column_and_literal(predicate, alias)
+        if column is None or column.lower() not in indexed:
+            return None
+        index_info = indexed[column.lower()]
+        if op == "=":
+            return index_info, literal, literal
+        if op in ("<", "<="):
+            hi = literal if op == "<=" else literal - 1
+            return index_info, None, hi
+        lo = literal if op == ">=" else literal + 1
+        return index_info, lo, None
+    if isinstance(predicate, A.Between) and not predicate.negated:
+        if not isinstance(predicate.operand, A.ColumnRef):
+            return None
+        column = predicate.operand
+        if column.table and column.table.lower() != alias.lower():
+            return None
+        if column.name.lower() not in indexed:
+            return None
+        low = predicate.low
+        high = predicate.high
+        if (
+            isinstance(low, A.Literal) and isinstance(low.value, int)
+            and isinstance(high, A.Literal) and isinstance(high.value, int)
+        ):
+            return indexed[column.name.lower()], low.value, high.value
+    return None
+
+
+def _column_and_literal(
+    predicate: A.BinaryOp, alias: str
+) -> Tuple[Optional[str], Optional[int], Optional[str]]:
+    """Normalize ``col OP literal`` / ``literal OP col`` to (col, lit, op)."""
+    flipped = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "="}
+    left, right, op = predicate.left, predicate.right, predicate.op
+    if isinstance(right, A.ColumnRef) and isinstance(left, A.Literal):
+        left, right, op = right, left, flipped[op]
+    elif not (isinstance(left, A.ColumnRef) and isinstance(right, A.Literal)):
+        return None, None, None
+    if left.table and left.table.lower() != alias.lower():
+        return None, None, None
+    if isinstance(right.value, bool) or not isinstance(right.value, int):
+        return None, None, None
+    return left.name, right.value, op
+
+
+def _function_calls(expr: A.Expr) -> List[A.FuncCall]:
+    calls: List[A.FuncCall] = []
+
+    def walk(node: A.Expr) -> None:
+        if isinstance(node, A.FuncCall):
+            calls.append(node)
+            for arg in node.args:
+                walk(arg)
+        elif isinstance(node, A.BinaryOp):
+            walk(node.left)
+            walk(node.right)
+        elif isinstance(node, A.UnaryOp):
+            walk(node.operand)
+        elif isinstance(node, A.IsNull):
+            walk(node.operand)
+        elif isinstance(node, A.Between):
+            walk(node.operand)
+            walk(node.low)
+            walk(node.high)
+        elif isinstance(node, A.InList):
+            walk(node.operand)
+            for item in node.items:
+                walk(item)
+
+    walk(expr)
+    return calls

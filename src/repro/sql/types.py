@@ -1,0 +1,148 @@
+"""SQL-level types and schemas.
+
+The SQL layer's types are a thin veneer over the storage layer's
+:class:`~repro.storage.record.ColumnType`, with the extra ADT flavour the
+paper's OR-DBMS setting needs: BYTEARRAY (images, generic blobs) and
+FLOATARRAY (time series like ``Stocks.history``) are first-class column
+types whose values can be passed to UDFs, sliced via callbacks, and
+spilled to LOB storage when large.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..errors import PlanError
+from ..storage.record import ColumnType
+
+
+class SQLType(enum.Enum):
+    INT = "int"
+    FLOAT = "float"
+    BOOL = "bool"
+    STRING = "string"
+    BYTES = "bytes"
+    FLOATARR = "floatarr"
+    NULL = "null"  # the type of a bare NULL literal
+
+    @property
+    def storage_type(self) -> ColumnType:
+        try:
+            return _STORAGE[self]
+        except KeyError:
+            raise PlanError(f"type {self.value} is not storable") from None
+
+
+_STORAGE = {
+    SQLType.INT: ColumnType.INT,
+    SQLType.FLOAT: ColumnType.FLOAT,
+    SQLType.BOOL: ColumnType.BOOL,
+    SQLType.STRING: ColumnType.STRING,
+    SQLType.BYTES: ColumnType.BYTES,
+    SQLType.FLOATARR: ColumnType.FLOATARR,
+}
+
+_FROM_STORAGE = {v: k for k, v in _STORAGE.items()}
+
+#: Type names accepted by the SQL parser (case-insensitive).
+TYPE_NAMES = {
+    "int": SQLType.INT,
+    "integer": SQLType.INT,
+    "bigint": SQLType.INT,
+    "float": SQLType.FLOAT,
+    "double": SQLType.FLOAT,
+    "real": SQLType.FLOAT,
+    "bool": SQLType.BOOL,
+    "boolean": SQLType.BOOL,
+    "string": SQLType.STRING,
+    "varchar": SQLType.STRING,
+    "text": SQLType.STRING,
+    "bytearray": SQLType.BYTES,
+    "bytea": SQLType.BYTES,
+    "blob": SQLType.BYTES,
+    "floatarray": SQLType.FLOATARR,
+    "timeseries": SQLType.FLOATARR,
+}
+
+
+def sql_type_from_name(name: str) -> SQLType:
+    try:
+        return TYPE_NAMES[name.lower()]
+    except KeyError:
+        raise PlanError(f"unknown SQL type {name!r}") from None
+
+
+def sql_type_from_storage(col_type: ColumnType) -> SQLType:
+    return _FROM_STORAGE[col_type]
+
+
+@dataclass(frozen=True)
+class ColumnDef:
+    """One column in CREATE TABLE."""
+
+    name: str
+    sql_type: SQLType
+    nullable: bool = True
+
+
+@dataclass(frozen=True)
+class SchemaColumn:
+    """One output column of an operator: qualified name + type."""
+
+    table: Optional[str]  # alias (or table name); None for computed columns
+    name: str
+    sql_type: SQLType
+
+
+class RowSchema:
+    """Orders and resolves the columns a row carries at some plan node."""
+
+    def __init__(self, columns: List[SchemaColumn]):
+        self.columns = columns
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def resolve(self, name: str, table: Optional[str] = None) -> int:
+        """Index of a column reference; ambiguity and misses raise."""
+        matches = [
+            index
+            for index, column in enumerate(self.columns)
+            if column.name.lower() == name.lower()
+            and (
+                table is None
+                or (column.table or "").lower() == table.lower()
+            )
+        ]
+        if not matches:
+            qualified = f"{table}.{name}" if table else name
+            raise PlanError(f"unknown column {qualified!r}")
+        if len(matches) > 1:
+            raise PlanError(f"ambiguous column reference {name!r}")
+        return matches[0]
+
+    def concat(self, other: "RowSchema") -> "RowSchema":
+        return RowSchema(self.columns + other.columns)
+
+    def names(self) -> List[str]:
+        return [column.name for column in self.columns]
+
+    def types(self) -> List[SQLType]:
+        return [column.sql_type for column in self.columns]
+
+
+def schema_for_table(table_info, alias: Optional[str] = None) -> RowSchema:
+    """Schema of a base-table scan (storage catalog -> SQL view)."""
+    label = alias or table_info.name
+    return RowSchema(
+        [
+            SchemaColumn(
+                table=label,
+                name=column.name,
+                sql_type=sql_type_from_storage(column.col_type),
+            )
+            for column in table_info.columns
+        ]
+    )

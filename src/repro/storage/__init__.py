@@ -1,0 +1,19 @@
+"""The Shore-analog storage manager: disk, buffer, pages, heap files,
+large objects, B+-tree indexes, and the system catalog."""
+
+from .buffer import BufferPool
+from .disk import DiskManager, PAGE_SIZE
+from .heapfile import HeapFile, RID
+from .lob import LOBManager, LOBRef
+from .page import SlottedPage
+
+__all__ = [
+    "BufferPool",
+    "DiskManager",
+    "HeapFile",
+    "LOBManager",
+    "LOBRef",
+    "PAGE_SIZE",
+    "RID",
+    "SlottedPage",
+]

@@ -1,0 +1,168 @@
+"""Buffer pool with clock (second-chance) replacement.
+
+The storage layer's working set lives here: fixed number of frames, a
+page table, pin counts, dirty tracking, and write-back on eviction.  The
+pool hands out the frame's ``bytearray`` directly (zero-copy for readers
+and writers); callers pin while using it and unpin with a dirty flag.
+
+``hits`` / ``misses`` / ``evictions`` counters feed the benchmark
+harness — the paper's calibration experiment (Figure 4) is dominated by
+exactly these table-access costs.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional
+
+from ..errors import BufferPoolError
+from .disk import DiskManager
+
+DEFAULT_CAPACITY = 256
+
+
+class _Frame:
+    __slots__ = ("index", "page_id", "data", "pin_count", "dirty",
+                 "referenced")
+
+    def __init__(self, index: int, page_size: int):
+        self.index = index
+        self.page_id: Optional[int] = None
+        self.data = bytearray(page_size)
+        self.pin_count = 0
+        self.dirty = False
+        self.referenced = False
+
+
+class BufferPool:
+    """Caches ``capacity`` pages of a :class:`DiskManager`."""
+
+    def __init__(self, disk: DiskManager, capacity: int = DEFAULT_CAPACITY):
+        if capacity < 1:
+            raise BufferPoolError("buffer pool needs at least one frame")
+        self.disk = disk
+        self.capacity = capacity
+        self._frames: List[_Frame] = [
+            _Frame(i, disk.page_size) for i in range(capacity)
+        ]
+        self._table: Dict[int, int] = {}  # page_id -> frame index
+        self._hand = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # -- pinning -------------------------------------------------------------
+
+    def fetch(self, page_id: int) -> bytearray:
+        """Pin a page and return its frame bytes."""
+        index = self._table.get(page_id)
+        if index is not None:
+            self.hits += 1
+            frame = self._frames[index]
+        else:
+            self.misses += 1
+            frame = self._grab_frame()
+            frame.page_id = page_id
+            frame.data[:] = self.disk.read_page(page_id)
+            frame.dirty = False
+            self._table[page_id] = frame.index
+        frame.pin_count += 1
+        frame.referenced = True
+        return frame.data
+
+    def new_page(self) -> tuple:
+        """Allocate a fresh page, pinned; returns (page_id, bytes)."""
+        page_id = self.disk.allocate_page()
+        frame = self._grab_frame()
+        frame.page_id = page_id
+        frame.data[:] = bytes(self.disk.page_size)
+        frame.dirty = True
+        frame.pin_count = 1
+        frame.referenced = True
+        self._table[page_id] = frame.index
+        return page_id, frame.data
+
+    def unpin(self, page_id: int, dirty: bool = False) -> None:
+        frame = self._frame_of(page_id)
+        if frame.pin_count <= 0:
+            raise BufferPoolError(f"page {page_id} is not pinned")
+        frame.pin_count -= 1
+        if dirty:
+            frame.dirty = True
+
+    @contextmanager
+    def pinned(self, page_id: int, dirty: bool = False) -> Iterator[bytearray]:
+        """``with pool.pinned(pid) as data: ...`` convenience wrapper."""
+        data = self.fetch(page_id)
+        try:
+            yield data
+        finally:
+            self.unpin(page_id, dirty)
+
+    # -- write-back -------------------------------------------------------------
+
+    def flush_page(self, page_id: int) -> None:
+        index = self._table.get(page_id)
+        if index is None:
+            return
+        frame = self._frames[index]
+        if frame.dirty:
+            self.disk.write_page(page_id, bytes(frame.data))
+            frame.dirty = False
+
+    def flush_all(self) -> None:
+        for frame in self._frames:
+            if frame.page_id is not None and frame.dirty:
+                self.disk.write_page(frame.page_id, bytes(frame.data))
+                frame.dirty = False
+
+    def drop_page(self, page_id: int) -> None:
+        """Forget a page (after it was freed on disk)."""
+        index = self._table.pop(page_id, None)
+        if index is not None:
+            frame = self._frames[index]
+            if frame.pin_count:
+                raise BufferPoolError(
+                    f"cannot drop pinned page {page_id}"
+                )
+            frame.page_id = None
+            frame.dirty = False
+            frame.referenced = False
+
+    # -- replacement --------------------------------------------------------------
+
+    def _frame_of(self, page_id: int) -> _Frame:
+        index = self._table.get(page_id)
+        if index is None:
+            raise BufferPoolError(f"page {page_id} is not resident")
+        return self._frames[index]
+
+    def _grab_frame(self) -> _Frame:
+        """Find a free frame or evict with the clock algorithm."""
+        for frame in self._frames:
+            if frame.page_id is None:
+                return frame
+        # Clock sweep: at most two full passes (first clears ref bits).
+        for __ in range(2 * self.capacity):
+            frame = self._frames[self._hand]
+            self._hand = (self._hand + 1) % self.capacity
+            if frame.pin_count > 0:
+                continue
+            if frame.referenced:
+                frame.referenced = False
+                continue
+            if frame.dirty:
+                self.disk.write_page(frame.page_id, bytes(frame.data))
+            self._table.pop(frame.page_id, None)
+            self.evictions += 1
+            frame.page_id = None
+            frame.dirty = False
+            return frame
+        raise BufferPoolError(
+            "all buffer frames are pinned; cannot evict"
+        )
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

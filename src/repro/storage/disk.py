@@ -1,0 +1,163 @@
+"""Page-granular disk manager.
+
+The bottom of the storage stack: a single file of fixed-size pages with a
+free list threaded through freed pages.  Everything above (buffer pool,
+heap files, LOBs, B+-trees) deals only in page ids.
+
+File layout::
+
+    page 0   header: magic, page size, page count, free-list head
+    page 1+  data pages
+
+Freed pages store the id of the next free page in their first 8 bytes.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from typing import Optional
+
+from ..errors import DiskError
+
+PAGE_SIZE = 8192
+MAGIC = b"JAGD"
+#: Sentinel for "no page" in chains and the free list.
+NO_PAGE = 0xFFFFFFFF
+
+_HEADER = struct.Struct("<4sIII")  # magic, page_size, npages, free_head
+
+
+class DiskManager:
+    """Allocates, reads, and writes fixed-size pages in one file.
+
+    Pass ``path=None`` for a purely in-memory database (used heavily by
+    tests and by benchmark workloads that should not measure the host
+    filesystem).
+    """
+
+    def __init__(self, path: Optional[str] = None, page_size: int = PAGE_SIZE):
+        if page_size < 64:
+            raise DiskError(f"page size {page_size} is too small")
+        self.path = path
+        self.page_size = page_size
+        self._mem: Optional[list] = None
+        self._file = None
+        self._free_head = NO_PAGE
+        self._npages = 1  # page 0 is the header
+        if path is None:
+            self._mem = [bytes(page_size)]  # placeholder header page
+        elif os.path.exists(path) and os.path.getsize(path) > 0:
+            self._file = open(path, "r+b")
+            self._load_header()
+        else:
+            self._file = open(path, "w+b")
+            self._file.write(bytes(page_size))
+            self._flush_header()
+
+    # -- header ------------------------------------------------------------
+
+    def _load_header(self) -> None:
+        self._file.seek(0)
+        raw = self._file.read(_HEADER.size)
+        if len(raw) < _HEADER.size:
+            raise DiskError(f"file {self.path!r} is not a database")
+        magic, page_size, npages, free_head = _HEADER.unpack(raw)
+        if magic != MAGIC:
+            raise DiskError(f"file {self.path!r} has bad magic")
+        if page_size != self.page_size:
+            raise DiskError(
+                f"file {self.path!r} uses page size {page_size}, "
+                f"opened with {self.page_size}"
+            )
+        self._npages = npages
+        self._free_head = free_head
+
+    def _flush_header(self) -> None:
+        if self._file is None:
+            return
+        self._file.seek(0)
+        self._file.write(
+            _HEADER.pack(MAGIC, self.page_size, self._npages, self._free_head)
+        )
+
+    # -- page API -------------------------------------------------------------
+
+    @property
+    def num_pages(self) -> int:
+        return self._npages
+
+    def allocate_page(self) -> int:
+        """Return a zeroed page id, reusing the free list when possible."""
+        if self._free_head != NO_PAGE:
+            page_id = self._free_head
+            raw = self.read_page(page_id)
+            (self._free_head,) = struct.unpack_from("<I", raw, 0)
+            self.write_page(page_id, bytes(self.page_size))
+            self._flush_header()
+            return page_id
+        page_id = self._npages
+        self._npages += 1
+        if self._mem is not None:
+            self._mem.append(bytes(self.page_size))
+        else:
+            self._file.seek(page_id * self.page_size)
+            self._file.write(bytes(self.page_size))
+            self._flush_header()
+        return page_id
+
+    def free_page(self, page_id: int) -> None:
+        """Return a page to the free list."""
+        self._check(page_id)
+        head = bytearray(self.page_size)
+        struct.pack_into("<I", head, 0, self._free_head)
+        self.write_page(page_id, bytes(head))
+        self._free_head = page_id
+        self._flush_header()
+
+    def read_page(self, page_id: int) -> bytes:
+        self._check(page_id)
+        if self._mem is not None:
+            return self._mem[page_id]
+        self._file.seek(page_id * self.page_size)
+        data = self._file.read(self.page_size)
+        if len(data) != self.page_size:
+            raise DiskError(f"short read of page {page_id}")
+        return data
+
+    def write_page(self, page_id: int, data: bytes) -> None:
+        self._check(page_id)
+        if len(data) != self.page_size:
+            raise DiskError(
+                f"page write of {len(data)} bytes (page size "
+                f"{self.page_size})"
+            )
+        if self._mem is not None:
+            self._mem[page_id] = bytes(data)
+        else:
+            self._file.seek(page_id * self.page_size)
+            self._file.write(data)
+
+    def sync(self) -> None:
+        if self._file is not None:
+            self._flush_header()
+            self._file.flush()
+            os.fsync(self._file.fileno())
+
+    def close(self) -> None:
+        if self._file is not None:
+            self.sync()
+            self._file.close()
+            self._file = None
+
+    def _check(self, page_id: int) -> None:
+        if not 1 <= page_id < self._npages:
+            raise DiskError(
+                f"page id {page_id} out of range [1, {self._npages})"
+            )
+
+    def __enter__(self) -> "DiskManager":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,138 @@
+"""Heap files: unordered record storage over chained slotted pages.
+
+A heap file is a linked list of slotted pages.  Records are addressed by
+RID ``(page_id, slot)``; RIDs are stable across in-place updates and
+page compaction.  Inserts go to a cached "current" page and append a new
+page to the chain when full — the right trade-off for the append-heavy
+relations the paper's experiments build.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+from ..errors import StorageError
+from .buffer import BufferPool
+from .disk import NO_PAGE
+from .page import HEADER_SIZE, SLOT_SIZE, SlottedPage
+
+
+@dataclass(frozen=True, order=True)
+class RID:
+    """Record identifier: page id + slot within the page."""
+
+    page_id: int
+    slot: int
+
+    def __repr__(self) -> str:
+        return f"RID({self.page_id}:{self.slot})"
+
+
+class HeapFile:
+    """An unordered file of records."""
+
+    def __init__(self, pool: BufferPool, first_page: int):
+        self.pool = pool
+        self.first_page = first_page
+        self._last_page = self._find_last_page()
+
+    @classmethod
+    def create(cls, pool: BufferPool) -> "HeapFile":
+        page_id, data = pool.new_page()
+        SlottedPage.format(data)
+        pool.unpin(page_id, dirty=True)
+        return cls(pool, page_id)
+
+    def max_record_size(self) -> int:
+        return self.pool.disk.page_size - HEADER_SIZE - SLOT_SIZE
+
+    def _find_last_page(self) -> int:
+        page_id = self.first_page
+        while True:
+            with self.pool.pinned(page_id) as data:
+                next_page = SlottedPage(data).next_page
+            if next_page == NO_PAGE:
+                return page_id
+            page_id = next_page
+
+    # -- mutation -------------------------------------------------------------
+
+    def insert(self, record: bytes) -> RID:
+        """Append a record; returns its RID."""
+        if len(record) > self.max_record_size():
+            raise StorageError(
+                f"record of {len(record)} bytes exceeds page capacity "
+                f"({self.max_record_size()}); store large values as LOBs"
+            )
+        data = self.pool.fetch(self._last_page)
+        try:
+            page = SlottedPage(data)
+            slot = page.insert(record)
+            if slot is not None:
+                return RID(self._last_page, slot)
+        finally:
+            self.pool.unpin(self._last_page, dirty=True)
+        # Current page full: chain a new one.
+        new_id, new_data = self.pool.new_page()
+        try:
+            SlottedPage.format(new_data)
+            slot = SlottedPage(new_data).insert(record)
+            assert slot is not None, "fresh page rejected a fitting record"
+        finally:
+            self.pool.unpin(new_id, dirty=True)
+        with self.pool.pinned(self._last_page, dirty=True) as data:
+            SlottedPage(data).next_page = new_id
+        self._last_page = new_id
+        return RID(new_id, slot)
+
+    def get(self, rid: RID) -> bytes:
+        with self.pool.pinned(rid.page_id) as data:
+            return SlottedPage(data).get(rid.slot)
+
+    def delete(self, rid: RID) -> None:
+        with self.pool.pinned(rid.page_id, dirty=True) as data:
+            SlottedPage(data).delete(rid.slot)
+
+    def update(self, rid: RID, record: bytes) -> RID:
+        """Update in place when possible; otherwise move the record.
+
+        Returns the (possibly new) RID.
+        """
+        if len(record) > self.max_record_size():
+            raise StorageError(
+                f"record of {len(record)} bytes exceeds page capacity"
+            )
+        with self.pool.pinned(rid.page_id, dirty=True) as data:
+            if SlottedPage(data).update(rid.slot, record):
+                return rid
+            SlottedPage(data).delete(rid.slot)
+        return self.insert(record)
+
+    # -- scanning ----------------------------------------------------------------
+
+    def pages(self) -> Iterator[int]:
+        page_id = self.first_page
+        while page_id != NO_PAGE:
+            with self.pool.pinned(page_id) as data:
+                next_page = SlottedPage(data).next_page
+            yield page_id
+            page_id = next_page
+
+    def scan(self) -> Iterator[Tuple[RID, bytes]]:
+        """Yield every live record in storage order."""
+        for page_id in self.pages():
+            with self.pool.pinned(page_id) as data:
+                records = list(SlottedPage(data).records())
+            for slot, record in records:
+                yield RID(page_id, slot), record
+
+    def count(self) -> int:
+        return sum(1 for __ in self.scan())
+
+    def drop(self) -> None:
+        """Free every page of the file."""
+        page_ids = list(self.pages())
+        for page_id in page_ids:
+            self.pool.drop_page(page_id)
+            self.pool.disk.free_page(page_id)

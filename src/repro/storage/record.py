@@ -1,0 +1,169 @@
+"""Record (tuple) serialization.
+
+Converts typed field values to/from the byte strings stored in slotted
+pages.  The format is self-delimiting per field:
+
+* a null bitmap (one bit per column) leads the record;
+* INT / FLOAT are fixed 8 bytes, BOOL one byte;
+* STRING / BYTES carry a u32 length prefix;
+* a BYTES value stored out-of-line is the sentinel length ``0xFFFFFFFF``
+  followed by the LOB reference (first page u32 + length u64) — the SQL
+  layer decides when to spill to a LOB, this layer just round-trips
+  either representation;
+* FLOATARR is a u32 element count plus packed doubles.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from array import array
+from typing import List, Optional, Sequence, Tuple, Union
+
+from ..errors import RecordError
+from .lob import LOBRef
+
+_LOB_SENTINEL = 0xFFFFFFFF
+_U32 = struct.Struct("<I")
+_I64 = struct.Struct("<q")
+_F64 = struct.Struct("<d")
+_LOBREF = struct.Struct("<IQ")
+
+
+class ColumnType(enum.Enum):
+    """Storage-level column types."""
+
+    INT = "int"
+    FLOAT = "float"
+    BOOL = "bool"
+    STRING = "string"
+    BYTES = "bytes"
+    FLOATARR = "floatarr"
+
+
+FieldValue = Union[None, int, float, bool, str, bytes, LOBRef, array, list]
+
+
+def serialize_record(
+    values: Sequence[FieldValue], types: Sequence[ColumnType]
+) -> bytes:
+    """Encode one tuple."""
+    if len(values) != len(types):
+        raise RecordError(
+            f"{len(values)} values for {len(types)} columns"
+        )
+    ncols = len(types)
+    bitmap = bytearray((ncols + 7) // 8)
+    out = bytearray()
+    for index, (value, col_type) in enumerate(zip(values, types)):
+        if value is None:
+            bitmap[index // 8] |= 1 << (index % 8)
+            continue
+        out += _encode_field(value, col_type, index)
+    return bytes(bitmap) + bytes(out)
+
+
+def deserialize_record(
+    data: bytes, types: Sequence[ColumnType]
+) -> List[FieldValue]:
+    """Decode one tuple."""
+    ncols = len(types)
+    bitmap_size = (ncols + 7) // 8
+    if len(data) < bitmap_size:
+        raise RecordError("record shorter than its null bitmap")
+    bitmap = data[:bitmap_size]
+    pos = bitmap_size
+    values: List[FieldValue] = []
+    for index, col_type in enumerate(types):
+        if bitmap[index // 8] & (1 << (index % 8)):
+            values.append(None)
+            continue
+        value, pos = _decode_field(data, pos, col_type, index)
+        values.append(value)
+    if pos != len(data):
+        raise RecordError(
+            f"{len(data) - pos} trailing bytes after record body"
+        )
+    return values
+
+
+def _encode_field(value: FieldValue, col_type: ColumnType, index: int) -> bytes:
+    if col_type is ColumnType.INT:
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise RecordError(f"column {index}: expected int, got {value!r}")
+        return _I64.pack(value)
+    if col_type is ColumnType.FLOAT:
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise RecordError(f"column {index}: expected float, got {value!r}")
+        return _F64.pack(float(value))
+    if col_type is ColumnType.BOOL:
+        if not isinstance(value, bool):
+            raise RecordError(f"column {index}: expected bool, got {value!r}")
+        return b"\x01" if value else b"\x00"
+    if col_type is ColumnType.STRING:
+        if not isinstance(value, str):
+            raise RecordError(f"column {index}: expected str, got {value!r}")
+        raw = value.encode("utf-8")
+        return _U32.pack(len(raw)) + raw
+    if col_type is ColumnType.BYTES:
+        if isinstance(value, LOBRef):
+            return _U32.pack(_LOB_SENTINEL) + _LOBREF.pack(
+                value.first_page, value.length
+            )
+        if isinstance(value, (bytes, bytearray, memoryview)):
+            raw = bytes(value)
+            if len(raw) >= _LOB_SENTINEL:
+                raise RecordError("inline bytes value too large")
+            return _U32.pack(len(raw)) + raw
+        raise RecordError(f"column {index}: expected bytes, got {value!r}")
+    if col_type is ColumnType.FLOATARR:
+        if isinstance(value, array) and value.typecode == "d":
+            raw = value.tobytes()
+        elif isinstance(value, (list, tuple)):
+            raw = array("d", [float(x) for x in value]).tobytes()
+        else:
+            raise RecordError(
+                f"column {index}: expected float array, got {value!r}"
+            )
+        return _U32.pack(len(raw) // 8) + raw
+    raise RecordError(f"unknown column type {col_type}")
+
+
+def _decode_field(
+    data: bytes, pos: int, col_type: ColumnType, index: int
+) -> Tuple[FieldValue, int]:
+    try:
+        if col_type is ColumnType.INT:
+            return _I64.unpack_from(data, pos)[0], pos + 8
+        if col_type is ColumnType.FLOAT:
+            return _F64.unpack_from(data, pos)[0], pos + 8
+        if col_type is ColumnType.BOOL:
+            return data[pos] != 0, pos + 1
+        if col_type is ColumnType.STRING:
+            (n,) = _U32.unpack_from(data, pos)
+            pos += 4
+            _need(data, pos, n)
+            return data[pos:pos + n].decode("utf-8"), pos + n
+        if col_type is ColumnType.BYTES:
+            (n,) = _U32.unpack_from(data, pos)
+            pos += 4
+            if n == _LOB_SENTINEL:
+                first_page, length = _LOBREF.unpack_from(data, pos)
+                return LOBRef(first_page, length), pos + _LOBREF.size
+            _need(data, pos, n)
+            return bytes(data[pos:pos + n]), pos + n
+        if col_type is ColumnType.FLOATARR:
+            (count,) = _U32.unpack_from(data, pos)
+            pos += 4
+            _need(data, pos, 8 * count)
+            values = array("d")
+            values.frombytes(data[pos:pos + 8 * count])
+            return values, pos + 8 * count
+    except struct.error as exc:
+        raise RecordError(f"column {index}: truncated record ({exc})") from None
+    raise RecordError(f"unknown column type {col_type}")
+
+
+def _need(data: bytes, pos: int, n: int) -> None:
+    if pos + n > len(data):
+        raise RecordError("truncated record body")

@@ -1,0 +1,45 @@
+"""JaguarVM: the sandboxed, portable UDF runtime (the paper's "Java").
+
+Public surface:
+
+* :func:`~repro.vm.compiler.compile_source` — JagScript source to classfile
+* :class:`~repro.vm.classfile.ClassFile` — the migration unit
+* :func:`~repro.vm.verifier.verify_class` — load-time safety proof
+* :class:`~repro.vm.machine.JaguarVM` — the embedding facade the server
+  instantiates once at startup (Section 4.2)
+"""
+
+from .classfile import ClassFile, FunctionDef, PoolEntry
+from .classloader import ClassLoader, SystemClassLoader, UDFClassLoader
+from .compiler import compile_source
+from .interpreter import ExecutionContext, run_function, single_class_context
+from .machine import JaguarVM, LoadedUDF
+from .opcodes import Instr, Op
+from .resources import ResourceAccount, unmetered_account
+from .security import Permissions, SecurityManager, open_manager
+from .values import VMType
+from .verifier import verify_class
+
+__all__ = [
+    "ClassFile",
+    "ClassLoader",
+    "ExecutionContext",
+    "FunctionDef",
+    "Instr",
+    "JaguarVM",
+    "LoadedUDF",
+    "Op",
+    "Permissions",
+    "PoolEntry",
+    "ResourceAccount",
+    "SecurityManager",
+    "SystemClassLoader",
+    "UDFClassLoader",
+    "VMType",
+    "compile_source",
+    "open_manager",
+    "run_function",
+    "single_class_context",
+    "unmetered_account",
+    "verify_class",
+]

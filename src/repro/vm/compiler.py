@@ -1,0 +1,1029 @@
+"""Restricted-Python front end for JaguarVM.
+
+UDF authors write their functions in a statically typed subset of Python
+(the analog of writing Java source); this module compiles that source to
+a JaguarVM classfile.  The toolchain mirrors Java's trust model exactly:
+the compiler is *not* trusted — anything it emits is re-verified by
+:mod:`repro.vm.verifier` before execution, whether it is run at the
+client or migrated to the server.
+
+The subset ("JagScript"):
+
+* every parameter and return type is annotated; types are ``int``,
+  ``float``, ``bool``, ``str``, ``bytes``/``bytearray`` (byte array) and
+  ``farr`` (float array);
+* statements: assignments (incl. annotated and augmented), ``if``/
+  ``elif``/``else``, ``while``, ``for .. in range(..)``, ``break``,
+  ``continue``, ``return``, ``pass``, bare expression calls;
+* expressions: arithmetic (``//`` is integer division, ``/`` promotes to
+  float), comparisons, short-circuit ``and``/``or``/``not``, conditional
+  expressions, indexing and (string) slicing, calls to other functions
+  in the same module, to builtins (``len``, ``int``, ``float``, ``str``,
+  ``abs``, ``min``, ``max``, ``bytearray``, ``farr``, and the math
+  natives), and to declared server *callbacks*;
+* indexing a ``str`` yields the character's code point (an ``int``),
+  matching the byte-oriented flavour of the VM.
+
+Local variable types are inferred from the first assignment (or taken
+from an annotation); control flow may not change a variable's type.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import CompileError
+from .classfile import ClassFile, FunctionDef, PoolEntry
+from .opcodes import Instr, Op
+from .stdlib import NATIVE_SIGNATURES
+from .values import TYPE_ALIASES, VMType
+
+Signature = Tuple[Tuple[VMType, ...], VMType]
+
+I = VMType.INT
+F = VMType.FLOAT
+B = VMType.BOOL
+S = VMType.STR
+A = VMType.ARR
+FA = VMType.FARR
+
+
+def compile_source(
+    source: str,
+    class_name: str,
+    callbacks: Optional[Dict[str, Signature]] = None,
+) -> ClassFile:
+    """Compile JagScript ``source`` into an (unverified) classfile.
+
+    ``callbacks`` maps callback names the UDF may reference to their
+    signatures; calls to those names compile to CALLBACK instructions.
+    """
+    try:
+        module = ast.parse(source)
+    except SyntaxError as exc:
+        raise CompileError(f"syntax error: {exc.msg}", exc.lineno or -1) from None
+
+    functions: List[ast.FunctionDef] = []
+    for node in module.body:
+        if isinstance(node, ast.FunctionDef):
+            functions.append(node)
+        elif isinstance(node, ast.Expr) and isinstance(node.value, ast.Constant):
+            continue  # module docstring
+        elif isinstance(node, ast.Pass):
+            continue
+        else:
+            raise CompileError(
+                f"only function definitions are allowed at module level, "
+                f"found {type(node).__name__}",
+                getattr(node, "lineno", -1),
+            )
+    if not functions:
+        raise CompileError("module defines no functions")
+
+    signatures: Dict[str, Signature] = {}
+    for fn in functions:
+        if fn.name in signatures:
+            raise CompileError(f"duplicate function {fn.name!r}", fn.lineno)
+        signatures[fn.name] = _signature_of(fn)
+
+    cls = ClassFile(name=class_name)
+    for fn in functions:
+        gen = _FunctionCompiler(
+            cls=cls,
+            node=fn,
+            module_signatures=signatures,
+            callbacks=callbacks or {},
+        )
+        cls.add_function(gen.compile())
+    return cls
+
+
+def _signature_of(fn: ast.FunctionDef) -> Signature:
+    args = fn.args
+    if args.vararg or args.kwarg or args.kwonlyargs or args.posonlyargs:
+        raise CompileError(
+            f"function {fn.name!r}: only plain positional parameters are "
+            f"supported", fn.lineno,
+        )
+    if args.defaults:
+        raise CompileError(
+            f"function {fn.name!r}: default values are not supported",
+            fn.lineno,
+        )
+    params = tuple(_annotation_type(a.annotation, fn, a.arg) for a in args.args)
+    if fn.returns is None:
+        raise CompileError(
+            f"function {fn.name!r}: missing return type annotation",
+            fn.lineno,
+        )
+    ret = _annotation_type(fn.returns, fn, "return", allow_void=True)
+    return params, ret
+
+
+def _annotation_type(
+    node: Optional[ast.expr],
+    fn: ast.FunctionDef,
+    what: str,
+    allow_void: bool = False,
+) -> VMType:
+    if node is None:
+        raise CompileError(
+            f"function {fn.name!r}: parameter {what!r} needs a type "
+            f"annotation", fn.lineno,
+        )
+    if isinstance(node, ast.Constant) and node.value is None:
+        name = "None"
+    elif isinstance(node, ast.Name):
+        name = node.id
+    else:
+        raise CompileError(
+            f"function {fn.name!r}: unsupported annotation for {what!r}",
+            fn.lineno,
+        )
+    vm_type = TYPE_ALIASES.get(name)
+    if vm_type is None:
+        raise CompileError(
+            f"function {fn.name!r}: unknown type {name!r} for {what!r}",
+            fn.lineno,
+        )
+    if vm_type is VMType.VOID and not allow_void:
+        raise CompileError(
+            f"function {fn.name!r}: {what!r} cannot be void", fn.lineno
+        )
+    return vm_type
+
+
+def _int_literal(node: ast.expr):
+    """The value of an (optionally negated) integer literal, else None."""
+    if (
+        isinstance(node, ast.UnaryOp)
+        and isinstance(node.op, ast.USub)
+    ):
+        inner = _int_literal(node.operand)
+        return None if inner is None else -inner
+    if (
+        isinstance(node, ast.Constant)
+        and isinstance(node.value, int)
+        and not isinstance(node.value, bool)
+    ):
+        return node.value
+    return None
+
+
+class _Label:
+    """A forward-patchable jump target."""
+
+    __slots__ = ("position",)
+
+    def __init__(self) -> None:
+        self.position: Optional[int] = None
+
+
+@dataclass
+class _LoopContext:
+    start: _Label
+    end: _Label
+    saw_break: bool = False
+    saw_continue: bool = False
+
+
+_BUILTIN_NAMES = frozenset(
+    {"len", "int", "float", "str", "abs", "min", "max", "bytearray", "farr"}
+)
+
+
+class _FunctionCompiler:
+    """Compiles one ``ast.FunctionDef`` to a :class:`FunctionDef`."""
+
+    def __init__(
+        self,
+        cls: ClassFile,
+        node: ast.FunctionDef,
+        module_signatures: Dict[str, Signature],
+        callbacks: Dict[str, Signature],
+    ):
+        self.cls = cls
+        self.node = node
+        self.module_signatures = module_signatures
+        self.callbacks = callbacks
+        self.params, self.ret_type = module_signatures[node.name]
+        self.code: List[Instr] = []
+        self.locals: Dict[str, Tuple[int, VMType]] = {}
+        self.local_types: List[VMType] = []
+        self.loops: List[_LoopContext] = []
+        for arg, vm_type in zip(node.args.args, self.params):
+            self._declare(arg.arg, vm_type, node)
+
+    # -- error helper -------------------------------------------------------
+
+    def _err(self, msg: str, node: ast.AST) -> CompileError:
+        return CompileError(
+            f"function {self.node.name!r}: {msg}",
+            getattr(node, "lineno", -1),
+        )
+
+    # -- locals -------------------------------------------------------------
+
+    def _declare(self, name: str, vm_type: VMType, node: ast.AST) -> int:
+        if name in self.locals:
+            raise self._err(f"variable {name!r} already declared", node)
+        slot = len(self.local_types)
+        self.local_types.append(vm_type)
+        self.locals[name] = (slot, vm_type)
+        return slot
+
+    def _lookup(self, name: str, node: ast.AST) -> Tuple[int, VMType]:
+        try:
+            return self.locals[name]
+        except KeyError:
+            raise self._err(f"undefined variable {name!r}", node) from None
+
+    # -- emission ------------------------------------------------------------
+
+    def _emit(self, op: Op, arg: object = None) -> None:
+        self.code.append(Instr(op, arg))
+
+    def _emit_jump(self, op: Op, label: _Label) -> None:
+        self.code.append(Instr(op, label))
+
+    def _place(self, label: _Label) -> None:
+        label.position = len(self.code)
+
+    # -- entry point ------------------------------------------------------------
+
+    def compile(self) -> FunctionDef:
+        body = self.node.body
+        if (
+            body
+            and isinstance(body[0], ast.Expr)
+            and isinstance(body[0].value, ast.Constant)
+            and isinstance(body[0].value.value, str)
+        ):
+            body = body[1:]  # docstring
+        terminated = self._compile_block(body)
+        if not terminated:
+            if self.ret_type is VMType.VOID:
+                self._emit(Op.RETV)
+            else:
+                raise self._err(
+                    "control may reach the end of a non-void function",
+                    self.node,
+                )
+        code = self._resolve_labels()
+        return FunctionDef(
+            name=self.node.name,
+            param_types=self.params,
+            ret_type=self.ret_type,
+            local_types=tuple(self.local_types),
+            code=code,
+        )
+
+    def _resolve_labels(self) -> Tuple[Instr, ...]:
+        resolved: List[Instr] = []
+        for ins in self.code:
+            if isinstance(ins.arg, _Label):
+                assert ins.arg.position is not None, "unplaced label"
+                resolved.append(Instr(ins.op, ins.arg.position))
+            else:
+                resolved.append(ins)
+        return tuple(resolved)
+
+    # -- statements -----------------------------------------------------------
+
+    def _compile_block(self, stmts: Sequence[ast.stmt]) -> bool:
+        """Compile a statement list; True if no path falls through."""
+        for index, stmt in enumerate(stmts):
+            if self._compile_stmt(stmt):
+                if index + 1 < len(stmts):
+                    raise self._err(
+                        "unreachable code after terminating statement",
+                        stmts[index + 1],
+                    )
+                return True
+        return False
+
+    def _compile_stmt(self, stmt: ast.stmt) -> bool:
+        if isinstance(stmt, ast.Return):
+            return self._compile_return(stmt)
+        if isinstance(stmt, ast.Assign):
+            self._compile_assign(stmt)
+            return False
+        if isinstance(stmt, ast.AnnAssign):
+            self._compile_ann_assign(stmt)
+            return False
+        if isinstance(stmt, ast.AugAssign):
+            self._compile_aug_assign(stmt)
+            return False
+        if isinstance(stmt, ast.If):
+            return self._compile_if(stmt)
+        if isinstance(stmt, ast.While):
+            return self._compile_while(stmt)
+        if isinstance(stmt, ast.For):
+            return self._compile_for(stmt)
+        if isinstance(stmt, ast.Break):
+            if not self.loops:
+                raise self._err("break outside loop", stmt)
+            self.loops[-1].saw_break = True
+            self._emit_jump(Op.JMP, self.loops[-1].end)
+            return True
+        if isinstance(stmt, ast.Continue):
+            if not self.loops:
+                raise self._err("continue outside loop", stmt)
+            self.loops[-1].saw_continue = True
+            self._emit_jump(Op.JMP, self.loops[-1].start)
+            return True
+        if isinstance(stmt, ast.Pass):
+            return False
+        if isinstance(stmt, ast.Expr):
+            result_type = self._compile_expr(stmt.value)
+            if result_type is not VMType.VOID:
+                self._emit(Op.POP)
+            return False
+        raise self._err(
+            f"unsupported statement {type(stmt).__name__}", stmt
+        )
+
+    def _compile_return(self, stmt: ast.Return) -> bool:
+        if self.ret_type is VMType.VOID:
+            if stmt.value is not None:
+                raise self._err("void function returns a value", stmt)
+            self._emit(Op.RETV)
+            return True
+        if stmt.value is None:
+            raise self._err("non-void function returns nothing", stmt)
+        value_type = self._compile_expr(stmt.value)
+        value_type = self._promote(value_type, self.ret_type, stmt)
+        if value_type is not self.ret_type:
+            raise self._err(
+                f"return type {value_type.value} does not match declared "
+                f"{self.ret_type.value}", stmt,
+            )
+        self._emit(Op.RET)
+        return True
+
+    def _compile_assign(self, stmt: ast.Assign) -> None:
+        if len(stmt.targets) != 1:
+            raise self._err("chained assignment is not supported", stmt)
+        target = stmt.targets[0]
+        if isinstance(target, ast.Name):
+            self._assign_name(target.id, stmt.value, stmt, declared=None)
+        elif isinstance(target, ast.Subscript):
+            self._assign_subscript(target, stmt.value, stmt)
+        else:
+            raise self._err(
+                f"unsupported assignment target {type(target).__name__}",
+                stmt,
+            )
+
+    def _compile_ann_assign(self, stmt: ast.AnnAssign) -> None:
+        if not isinstance(stmt.target, ast.Name):
+            raise self._err("annotated target must be a simple name", stmt)
+        declared = _annotation_type(stmt.annotation, self.node, stmt.target.id)
+        if stmt.value is None:
+            raise self._err(
+                "annotated declaration needs an initializer", stmt
+            )
+        self._assign_name(stmt.target.id, stmt.value, stmt, declared=declared)
+
+    def _assign_name(
+        self,
+        name: str,
+        value: ast.expr,
+        stmt: ast.stmt,
+        declared: Optional[VMType],
+    ) -> None:
+        value_type = self._compile_expr(value)
+        if name in self.locals:
+            slot, existing = self.locals[name]
+            if declared is not None and declared is not existing:
+                raise self._err(
+                    f"variable {name!r} re-declared with a different type",
+                    stmt,
+                )
+            value_type = self._promote(value_type, existing, stmt)
+            if value_type is not existing:
+                raise self._err(
+                    f"cannot assign {value_type.value} to {name!r} of type "
+                    f"{existing.value}", stmt,
+                )
+            self._emit(Op.STORE, slot)
+        else:
+            target_type = declared if declared is not None else value_type
+            value_type = self._promote(value_type, target_type, stmt)
+            if value_type is not target_type:
+                raise self._err(
+                    f"initializer of type {value_type.value} does not match "
+                    f"declared type {target_type.value} for {name!r}", stmt,
+                )
+            slot = self._declare(name, target_type, stmt)
+            self._emit(Op.STORE, slot)
+
+    def _assign_subscript(
+        self, target: ast.Subscript, value: ast.expr, stmt: ast.stmt
+    ) -> None:
+        base_type = self._compile_expr(target.value)
+        if base_type is A:
+            index_type = self._compile_expr(target.slice)
+            if index_type is not I:
+                raise self._err("array index must be int", stmt)
+            value_type = self._compile_expr(value)
+            if value_type is not I:
+                raise self._err("byte-array element must be int", stmt)
+            self._emit(Op.ASTORE)
+        elif base_type is FA:
+            index_type = self._compile_expr(target.slice)
+            if index_type is not I:
+                raise self._err("array index must be int", stmt)
+            value_type = self._compile_expr(value)
+            value_type = self._promote(value_type, F, stmt)
+            if value_type is not F:
+                raise self._err("float-array element must be float", stmt)
+            self._emit(Op.FASTORE)
+        else:
+            raise self._err(
+                f"cannot index-assign into {base_type.value}", stmt
+            )
+
+    def _compile_aug_assign(self, stmt: ast.AugAssign) -> None:
+        # Desugared to load-op-store.  For subscript targets the base and
+        # index expressions are emitted twice, so they must be side-effect
+        # free; calls are rejected to keep double evaluation harmless.
+        target = stmt.target
+        if isinstance(target, ast.Name):
+            load = ast.copy_location(
+                ast.Name(id=target.id, ctx=ast.Load()), stmt
+            )
+            binop = ast.copy_location(
+                ast.BinOp(left=load, op=stmt.op, right=stmt.value), stmt
+            )
+            self._assign_name(target.id, binop, stmt, declared=None)
+        elif isinstance(target, ast.Subscript):
+            for sub in ast.walk(target):
+                if isinstance(sub, ast.Call):
+                    raise self._err(
+                        "augmented assignment target may not contain calls",
+                        stmt,
+                    )
+            load_target = ast.copy_location(
+                ast.Subscript(
+                    value=target.value, slice=target.slice, ctx=ast.Load()
+                ),
+                stmt,
+            )
+            binop = ast.copy_location(
+                ast.BinOp(left=load_target, op=stmt.op, right=stmt.value),
+                stmt,
+            )
+            self._assign_subscript(target, binop, stmt)
+        else:
+            raise self._err("unsupported augmented-assignment target", stmt)
+
+    def _compile_if(self, stmt: ast.If) -> bool:
+        condition = self._compile_expr(stmt.test)
+        if condition is not B:
+            raise self._err("if condition must be bool", stmt)
+        else_label = _Label()
+        self._emit_jump(Op.JZ, else_label)
+        then_terminated = self._compile_block(stmt.body)
+        if stmt.orelse:
+            end_label = _Label()
+            if not then_terminated:
+                self._emit_jump(Op.JMP, end_label)
+            self._place(else_label)
+            else_terminated = self._compile_block(stmt.orelse)
+            self._place(end_label)
+            return then_terminated and else_terminated
+        self._place(else_label)
+        return False
+
+    def _compile_while(self, stmt: ast.While) -> bool:
+        if stmt.orelse:
+            raise self._err("while-else is not supported", stmt)
+        start = _Label()
+        end = _Label()
+        loop = _LoopContext(start=start, end=end)
+        always_true = (
+            isinstance(stmt.test, ast.Constant) and stmt.test.value is True
+        )
+        self._place(start)
+        if not always_true:
+            condition = self._compile_expr(stmt.test)
+            if condition is not B:
+                raise self._err("while condition must be bool", stmt)
+            self._emit_jump(Op.JZ, end)
+        self.loops.append(loop)
+        body_terminated = self._compile_block(stmt.body)
+        self.loops.pop()
+        if not body_terminated:
+            self._emit_jump(Op.JMP, start)
+        if always_true and not loop.saw_break:
+            # Infinite loop: nothing reaches past it, and placing the end
+            # label would create unreachable code.
+            return True
+        self._place(end)
+        return False
+
+    def _compile_for(self, stmt: ast.For) -> bool:
+        if stmt.orelse:
+            raise self._err("for-else is not supported", stmt)
+        if not isinstance(stmt.target, ast.Name):
+            raise self._err("for target must be a simple name", stmt)
+        call = stmt.iter
+        if not (
+            isinstance(call, ast.Call)
+            and isinstance(call.func, ast.Name)
+            and call.func.id == "range"
+        ):
+            raise self._err("for may only iterate over range(...)", stmt)
+        if call.keywords:
+            raise self._err("range() takes no keyword arguments", stmt)
+        nargs = len(call.args)
+        if nargs == 1:
+            start_expr: Optional[ast.expr] = None
+            stop_expr = call.args[0]
+            step = 1
+        elif nargs == 2:
+            start_expr, stop_expr = call.args
+            step = 1
+        elif nargs == 3:
+            start_expr, stop_expr = call.args[0], call.args[1]
+            step = _int_literal(call.args[2])
+            if step is None or step == 0:
+                raise self._err(
+                    "range() step must be a non-zero integer literal", stmt
+                )
+        else:
+            raise self._err("range() takes 1 to 3 arguments", stmt)
+
+        # i = start
+        name = stmt.target.id
+        if start_expr is None:
+            self._emit(Op.ICONST, 0)
+        else:
+            if self._compile_expr(start_expr) is not I:
+                raise self._err("range() start must be int", stmt)
+        if name in self.locals:
+            slot, existing = self.locals[name]
+            if existing is not I:
+                raise self._err(
+                    f"loop variable {name!r} already has type "
+                    f"{existing.value}", stmt,
+                )
+        else:
+            slot = self._declare(name, I, stmt)
+        self._emit(Op.STORE, slot)
+
+        # stop is evaluated once into a hidden local.
+        if self._compile_expr(stop_expr) is not I:
+            raise self._err("range() stop must be int", stmt)
+        stop_slot = len(self.local_types)
+        self.local_types.append(I)
+        self._emit(Op.STORE, stop_slot)
+
+        check = _Label()
+        end = _Label()
+        loop = _LoopContext(start=_Label(), end=end)  # continue -> increment
+        increment = loop.start
+        self._place(check)
+        self._emit(Op.LOAD, slot)
+        self._emit(Op.LOAD, stop_slot)
+        self._emit(Op.ICMPLT if step > 0 else Op.ICMPGT)
+        self._emit_jump(Op.JZ, end)
+        self.loops.append(loop)
+        body_terminated = self._compile_block(stmt.body)
+        self.loops.pop()
+        if not body_terminated or loop.saw_continue:
+            # The increment block is the `continue` target; when every
+            # body path returns/breaks and nothing continues, it would be
+            # unreachable, and the verifier rejects unreachable code.
+            self._place(increment)
+            self._emit(Op.LOAD, slot)
+            self._emit(Op.ICONST, step)
+            self._emit(Op.IADD)
+            self._emit(Op.STORE, slot)
+            self._emit_jump(Op.JMP, check)
+        self._place(end)
+        return False
+
+    # -- expressions -------------------------------------------------------------
+
+    def _compile_expr(self, node: ast.expr) -> VMType:
+        if isinstance(node, ast.Constant):
+            return self._compile_constant(node)
+        if isinstance(node, ast.Name):
+            slot, vm_type = self._lookup(node.id, node)
+            self._emit(Op.LOAD, slot)
+            return vm_type
+        if isinstance(node, ast.BinOp):
+            return self._compile_binop(node)
+        if isinstance(node, ast.UnaryOp):
+            return self._compile_unaryop(node)
+        if isinstance(node, ast.Compare):
+            return self._compile_compare(node)
+        if isinstance(node, ast.BoolOp):
+            return self._compile_boolop(node)
+        if isinstance(node, ast.IfExp):
+            return self._compile_ifexp(node)
+        if isinstance(node, ast.Call):
+            return self._compile_call(node)
+        if isinstance(node, ast.Subscript):
+            return self._compile_subscript(node)
+        raise self._err(
+            f"unsupported expression {type(node).__name__}", node
+        )
+
+    def _compile_constant(self, node: ast.Constant) -> VMType:
+        value = node.value
+        if isinstance(value, bool):
+            self._emit(Op.BCONST, 1 if value else 0)
+            return B
+        if isinstance(value, int):
+            self._emit(Op.ICONST, value)
+            return I
+        if isinstance(value, float):
+            self._emit(Op.FCONST, value)
+            return F
+        if isinstance(value, str):
+            index = self.cls.pool_index(PoolEntry.string(value))
+            self._emit(Op.SCONST, index)
+            return S
+        raise self._err(f"unsupported literal {value!r}", node)
+
+    def _promote(self, actual: VMType, wanted: VMType, node: ast.AST) -> VMType:
+        """Insert I2F when an int value flows into a float context."""
+        if actual is I and wanted is F:
+            self._emit(Op.I2F)
+            return F
+        return actual
+
+    _INT_OPS = {
+        ast.Add: Op.IADD, ast.Sub: Op.ISUB, ast.Mult: Op.IMUL,
+        ast.FloorDiv: Op.IDIV, ast.Mod: Op.IMOD,
+        ast.BitAnd: Op.IAND, ast.BitOr: Op.IOR, ast.BitXor: Op.IXOR,
+        ast.LShift: Op.ISHL, ast.RShift: Op.ISHR,
+    }
+    _FLOAT_OPS = {
+        ast.Add: Op.FADD, ast.Sub: Op.FSUB,
+        ast.Mult: Op.FMUL, ast.Div: Op.FDIV,
+    }
+
+    def _compile_binop(self, node: ast.BinOp) -> VMType:
+        op_type = type(node.op)
+        left = self._compile_expr(node.left)
+
+        if left is S:
+            if op_type is not ast.Add:
+                raise self._err("only + is defined on strings", node)
+            right = self._compile_expr(node.right)
+            if right is not S:
+                raise self._err("string + needs a string", node)
+            self._emit(Op.SCONCAT)
+            return S
+
+        if op_type is ast.Div or left is F:
+            # float arithmetic (/, or any op with a float left operand)
+            if left is I:
+                self._emit(Op.I2F)
+            elif left is not F:
+                raise self._err(
+                    f"operand of type {left.value} in float arithmetic", node
+                )
+            right = self._compile_expr(node.right)
+            right = self._promote(right, F, node)
+            if right is not F:
+                raise self._err(
+                    f"operand of type {right.value} in float arithmetic",
+                    node,
+                )
+            float_op = self._FLOAT_OPS.get(op_type)
+            if float_op is None:
+                raise self._err(
+                    f"operator {op_type.__name__} not defined on floats",
+                    node,
+                )
+            self._emit(float_op)
+            return F
+
+        if left is I:
+            right = self._compile_expr(node.right)
+            if right is F:
+                # int OP float: retype as float arithmetic.  The int is
+                # buried under the float, so swap, convert, swap back.
+                float_op = self._FLOAT_OPS.get(op_type)
+                if float_op is None:
+                    raise self._err(
+                        f"operator {op_type.__name__} not defined on floats",
+                        node,
+                    )
+                self._emit(Op.SWAP)
+                self._emit(Op.I2F)
+                self._emit(Op.SWAP)
+                self._emit(float_op)
+                return F
+            if right is not I:
+                raise self._err(
+                    f"operand of type {right.value} in integer arithmetic",
+                    node,
+                )
+            int_op = self._INT_OPS.get(op_type)
+            if int_op is None:
+                raise self._err(
+                    f"operator {op_type.__name__} not defined on ints "
+                    f"(use / for float division)", node,
+                )
+            self._emit(int_op)
+            return I
+
+        raise self._err(
+            f"operator {op_type.__name__} not defined on {left.value}", node
+        )
+
+    def _compile_unaryop(self, node: ast.UnaryOp) -> VMType:
+        if isinstance(node.op, ast.USub):
+            operand = self._compile_expr(node.operand)
+            if operand is I:
+                self._emit(Op.INEG)
+                return I
+            if operand is F:
+                self._emit(Op.FNEG)
+                return F
+            raise self._err(f"cannot negate {operand.value}", node)
+        if isinstance(node.op, ast.Not):
+            operand = self._compile_expr(node.operand)
+            if operand is not B:
+                raise self._err("not needs a bool operand", node)
+            self._emit(Op.NOT)
+            return B
+        if isinstance(node.op, ast.UAdd):
+            return self._compile_expr(node.operand)
+        raise self._err(
+            f"unsupported unary operator {type(node.op).__name__}", node
+        )
+
+    _INT_CMP = {
+        ast.Lt: Op.ICMPLT, ast.LtE: Op.ICMPLE, ast.Gt: Op.ICMPGT,
+        ast.GtE: Op.ICMPGE, ast.Eq: Op.ICMPEQ, ast.NotEq: Op.ICMPNE,
+    }
+    _FLOAT_CMP = {
+        ast.Lt: Op.FCMPLT, ast.LtE: Op.FCMPLE, ast.Gt: Op.FCMPGT,
+        ast.GtE: Op.FCMPGE, ast.Eq: Op.FCMPEQ, ast.NotEq: Op.FCMPNE,
+    }
+
+    def _compile_compare(self, node: ast.Compare) -> VMType:
+        if len(node.ops) != 1:
+            raise self._err(
+                "chained comparisons are not supported (split with 'and')",
+                node,
+            )
+        op_type = type(node.ops[0])
+        left = self._compile_expr(node.left)
+        if left is S:
+            right = self._compile_expr(node.comparators[0])
+            if right is not S:
+                raise self._err("string compared to non-string", node)
+            if op_type is ast.Eq:
+                self._emit(Op.SEQ)
+            elif op_type is ast.NotEq:
+                self._emit(Op.SEQ)
+                self._emit(Op.NOT)
+            else:
+                raise self._err("only == and != are defined on strings", node)
+            return B
+        right = self._compile_expr(node.comparators[0])
+        if left is F or right is F:
+            if right is I:
+                self._emit(Op.I2F)
+            elif right is not F:
+                raise self._err(f"cannot compare float to {right.value}", node)
+            if left is I:
+                self._emit(Op.SWAP)
+                self._emit(Op.I2F)
+                self._emit(Op.SWAP)
+            elif left is not F:
+                raise self._err(f"cannot compare {left.value} to float", node)
+            cmp_op = self._FLOAT_CMP.get(op_type)
+        elif left is I and right is I:
+            cmp_op = self._INT_CMP.get(op_type)
+        elif left is B or right is B:
+            raise self._err("comparing bools is not supported", node)
+        else:
+            raise self._err(
+                f"cannot compare {left.value} to {right.value}", node
+            )
+        if cmp_op is None:
+            raise self._err(
+                f"unsupported comparison {op_type.__name__}", node
+            )
+        self._emit(cmp_op)
+        return B
+
+    def _compile_boolop(self, node: ast.BoolOp) -> VMType:
+        end = _Label()
+        short_circuit = Op.JZ if isinstance(node.op, ast.And) else Op.JNZ
+        for index, value in enumerate(node.values):
+            value_type = self._compile_expr(value)
+            if value_type is not B:
+                raise self._err(
+                    f"and/or operand must be bool, got {value_type.value}",
+                    node,
+                )
+            if index + 1 < len(node.values):
+                self._emit(Op.DUP)
+                self._emit_jump(short_circuit, end)
+                self._emit(Op.POP)
+        self._place(end)
+        return B
+
+    def _compile_ifexp(self, node: ast.IfExp) -> VMType:
+        condition = self._compile_expr(node.test)
+        if condition is not B:
+            raise self._err("conditional-expression test must be bool", node)
+        else_label = _Label()
+        end_label = _Label()
+        self._emit_jump(Op.JZ, else_label)
+        then_type = self._compile_expr(node.body)
+        self._emit_jump(Op.JMP, end_label)
+        self._place(else_label)
+        else_type = self._compile_expr(node.orelse)
+        self._place(end_label)
+        if then_type is not else_type:
+            raise self._err(
+                f"conditional-expression branches have different types "
+                f"({then_type.value} vs {else_type.value})", node,
+            )
+        return then_type
+
+    def _compile_subscript(self, node: ast.Subscript) -> VMType:
+        base = self._compile_expr(node.value)
+        if isinstance(node.slice, ast.Slice):
+            if base is not S:
+                raise self._err("only strings support slicing", node)
+            sl = node.slice
+            if sl.step is not None:
+                raise self._err("slice step is not supported", node)
+            if sl.lower is None:
+                self._emit(Op.ICONST, 0)
+            elif self._compile_expr(sl.lower) is not I:
+                raise self._err("slice bound must be int", node)
+            if sl.upper is None:
+                raise self._err(
+                    "open-ended slices are not supported (use len(s))", node
+                )
+            elif self._compile_expr(sl.upper) is not I:
+                raise self._err("slice bound must be int", node)
+            self._emit(Op.SSUB)
+            return S
+        index_type = self._compile_expr(node.slice)
+        if index_type is not I:
+            raise self._err("index must be int", node)
+        if base is A:
+            self._emit(Op.ALOAD)
+            return I
+        if base is FA:
+            self._emit(Op.FALOAD)
+            return F
+        if base is S:
+            self._emit(Op.SINDEX)
+            return I
+        raise self._err(f"cannot index {base.value}", node)
+
+    # -- calls ---------------------------------------------------------------------
+
+    def _compile_call(self, node: ast.Call) -> VMType:
+        if node.keywords:
+            raise self._err("keyword arguments are not supported", node)
+        if not isinstance(node.func, ast.Name):
+            raise self._err("only simple-name calls are supported", node)
+        name = node.func.id
+
+        if name in _BUILTIN_NAMES:
+            return self._compile_builtin(name, node)
+        if name in self.module_signatures:
+            params, ret = self.module_signatures[name]
+            self._emit_args(node, params)
+            index = self.cls.pool_index(
+                PoolEntry.funcref(self.cls.name, name)
+            )
+            self._emit(Op.CALL, index)
+            return ret
+        if name in self.callbacks:
+            params, ret = self.callbacks[name]
+            self._emit_args(node, params)
+            index = self.cls.pool_index(PoolEntry.callbackref(name))
+            self._emit(Op.CALLBACK, index)
+            return ret
+        if name in NATIVE_SIGNATURES:
+            params, ret = NATIVE_SIGNATURES[name]
+            self._emit_args(node, params)
+            index = self.cls.pool_index(PoolEntry.nativeref(name))
+            self._emit(Op.NATIVE, index)
+            return ret
+        raise self._err(f"unknown function {name!r}", node)
+
+    def _emit_args(
+        self, node: ast.Call, params: Tuple[VMType, ...]
+    ) -> None:
+        if len(node.args) != len(params):
+            raise self._err(
+                f"call expects {len(params)} arguments, got "
+                f"{len(node.args)}", node,
+            )
+        for arg, wanted in zip(node.args, params):
+            actual = self._compile_expr(arg)
+            actual = self._promote(actual, wanted, node)
+            if actual is not wanted:
+                raise self._err(
+                    f"argument of type {actual.value} where {wanted.value} "
+                    f"expected", node,
+                )
+
+    def _compile_builtin(self, name: str, node: ast.Call) -> VMType:
+        args = node.args
+        if name == "len":
+            self._require_arity(node, 1)
+            base = self._compile_expr(args[0])
+            if base is S:
+                self._emit(Op.SLEN)
+            elif base is A:
+                self._emit(Op.ALEN)
+            elif base is FA:
+                self._emit(Op.FALEN)
+            else:
+                raise self._err(f"len() of {base.value}", node)
+            return I
+        if name == "int":
+            self._require_arity(node, 1)
+            base = self._compile_expr(args[0])
+            if base is F:
+                self._emit(Op.F2I)
+            elif base is not I:
+                raise self._err(f"int() of {base.value}", node)
+            return I
+        if name == "float":
+            self._require_arity(node, 1)
+            base = self._compile_expr(args[0])
+            if base is I:
+                self._emit(Op.I2F)
+            elif base is not F:
+                raise self._err(f"float() of {base.value}", node)
+            return F
+        if name == "str":
+            self._require_arity(node, 1)
+            base = self._compile_expr(args[0])
+            if base is I:
+                self._emit(Op.I2S)
+            elif base is F:
+                self._emit(Op.F2S)
+            elif base is not S:
+                raise self._err(f"str() of {base.value}", node)
+            return S
+        if name == "bytearray":
+            self._require_arity(node, 1)
+            base = self._compile_expr(args[0])
+            if base is I:
+                self._emit(Op.NEWARR)
+                return A
+            if base is A:
+                self._emit(Op.ACOPY)
+                return A
+            raise self._err(f"bytearray() of {base.value}", node)
+        if name == "farr":
+            self._require_arity(node, 1)
+            if self._compile_expr(args[0]) is not I:
+                raise self._err("farr() size must be int", node)
+            self._emit(Op.NEWFARR)
+            return FA
+        if name == "abs":
+            self._require_arity(node, 1)
+            base = self._compile_expr(args[0])
+            native = "iabs" if base is I else "fabs" if base is F else None
+            if native is None:
+                raise self._err(f"abs() of {base.value}", node)
+            self._emit(Op.NATIVE, self.cls.pool_index(PoolEntry.nativeref(native)))
+            return base
+        if name in ("min", "max"):
+            self._require_arity(node, 2)
+            left = self._compile_expr(args[0])
+            right = self._compile_expr(args[1])
+            if left is I and right is I:
+                native = "imin" if name == "min" else "imax"
+                result = I
+            elif left is F and right is F:
+                native = "fmin" if name == "min" else "fmax"
+                result = F
+            else:
+                raise self._err(
+                    f"{name}() needs two ints or two floats", node
+                )
+            self._emit(Op.NATIVE, self.cls.pool_index(PoolEntry.nativeref(native)))
+            return result
+        raise self._err(f"unknown builtin {name!r}", node)  # pragma: no cover
+
+    def _require_arity(self, node: ast.Call, n: int) -> None:
+        if len(node.args) != n:
+            raise self._err(
+                f"{node.func.id}() takes {n} argument(s), got "
+                f"{len(node.args)}", node,
+            )

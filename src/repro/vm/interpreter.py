@@ -1,0 +1,404 @@
+"""JaguarVM bytecode interpreter.
+
+The interpreter is the "no JIT" execution mode: a classic decode-dispatch
+loop charging one fuel unit per instruction.  It only runs *verified*
+code — the constructor refuses unverified classfiles — so it performs no
+type checks, but it does enforce everything the verifier provably cannot:
+array bounds, division by zero, numeric conversion traps, call depth, and
+the fuel / memory quotas.
+
+An :class:`ExecutionContext` bundles the per-invocation environment:
+function resolution (class loader), the security manager, the resource
+account, and the callback broker.  The same context type drives the JIT,
+so the two modes are interchangeable behind
+:func:`~repro.vm.machine.JaguarVM.invoke`.
+"""
+
+from __future__ import annotations
+
+import math
+from array import array
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import (
+    ArithmeticFault,
+    BoundsError,
+    LinkError,
+    VerifyError,
+    VMRuntimeError,
+)
+from .classfile import ClassFile, FunctionDef, K_CALLBACK, K_FUNC, K_NATIVE, K_STR
+from .opcodes import Op
+from .resources import ResourceAccount, unmetered_account
+from .security import SecurityManager, open_manager
+from .stdlib import NATIVE_IMPLS
+from .values import VMType, VMValue, coerce_argument, default_value, wrap_int
+
+INT_MIN = -(2 ** 63)
+INT_MAX = 2 ** 63 - 1
+
+
+class ExecutionContext:
+    """Everything one sandboxed invocation needs from its environment."""
+
+    __slots__ = ("resolve_function", "callbacks", "security", "account",
+                 "natives", "callback_signatures")
+
+    def __init__(
+        self,
+        resolve_function: Callable[[str, str], Tuple[ClassFile, FunctionDef]],
+        callbacks: Optional[Dict[str, Callable]] = None,
+        security: Optional[SecurityManager] = None,
+        account: Optional[ResourceAccount] = None,
+        callback_signatures: Optional[Dict[str, Tuple]] = None,
+    ):
+        self.resolve_function = resolve_function
+        self.callbacks = callbacks or {}
+        self.security = security if security is not None else open_manager()
+        self.account = account if account is not None else unmetered_account()
+        self.natives = NATIVE_IMPLS
+        if callback_signatures is None:
+            from ..core.callbacks import standard_callback_signatures
+
+            callback_signatures = standard_callback_signatures()
+        self.callback_signatures = callback_signatures
+
+    def invoke_callback(self, name: str, args: Sequence[VMValue]) -> VMValue:
+        """Security-checked callback dispatch (the JNI 'native method')."""
+        self.security.check_callback(name)
+        try:
+            handler = self.callbacks[name]
+        except KeyError:
+            raise LinkError(f"callback {name!r} is not provided") from None
+        return handler(*args)
+
+    def invoke_native(self, name: str, args: Sequence[VMValue]) -> VMValue:
+        self.security.check_native(name)
+        return self.natives[name](*args)
+
+
+def single_class_context(cls: ClassFile, **kwargs) -> ExecutionContext:
+    """Context resolving CALLs inside ``cls`` only (tests, simple UDFs)."""
+
+    def resolve(class_name: str, func_name: str):
+        if class_name != cls.name:
+            raise LinkError(f"cannot resolve foreign class {class_name!r}")
+        try:
+            return cls, cls.functions[func_name]
+        except KeyError:
+            raise LinkError(f"unknown function {func_name!r}") from None
+
+    return ExecutionContext(resolve, **kwargs)
+
+
+def run_function(
+    cls: ClassFile,
+    func: FunctionDef,
+    args: Sequence[object],
+    ctx: ExecutionContext,
+) -> VMValue:
+    """Invoke ``func`` with host-level ``args`` through the JNI boundary.
+
+    Arguments are marshalled (copied where mutability demands) into VM
+    representations; the return value comes back as a host value.
+    """
+    if not cls.verified:
+        raise VerifyError(
+            f"refusing to execute unverified class {cls.name!r}"
+        )
+    if len(args) != len(func.param_types):
+        raise VMRuntimeError(
+            f"{cls.name}.{func.name} expects {len(func.param_types)} "
+            f"arguments, got {len(args)}"
+        )
+    vm_args = [
+        coerce_argument(a, t) for a, t in zip(args, func.param_types)
+    ]
+    return _execute(cls, func, vm_args, ctx)
+
+
+def _execute(
+    cls: ClassFile,
+    func: FunctionDef,
+    args: List[VMValue],
+    ctx: ExecutionContext,
+) -> VMValue:
+    """The dispatch loop.  ``args`` are already VM values."""
+    account = ctx.account
+    account.enter_call()
+    try:
+        slots: List[VMValue] = list(args)
+        for t in func.local_types[len(args):]:
+            slots.append(default_value(t))
+        stack: List[VMValue] = []
+        code = func.code
+        pool = cls.pool
+        pc = 0
+        while True:
+            account.fuel -= 1
+            if account.fuel < 0:
+                account.out_of_fuel()
+            ins = code[pc]
+            op = ins.op
+            pc += 1
+
+            if op is Op.LOAD:
+                stack.append(slots[ins.arg])
+            elif op is Op.STORE:
+                slots[ins.arg] = stack.pop()
+            elif op is Op.ICONST or op is Op.FCONST:
+                stack.append(ins.arg)
+            elif op is Op.BCONST:
+                stack.append(ins.arg == 1)
+            elif op is Op.SCONST:
+                stack.append(pool[ins.arg].value[0])
+
+            elif op is Op.IADD:
+                b = stack.pop()
+                stack[-1] = wrap_int(stack[-1] + b)
+            elif op is Op.ISUB:
+                b = stack.pop()
+                stack[-1] = wrap_int(stack[-1] - b)
+            elif op is Op.IMUL:
+                b = stack.pop()
+                stack[-1] = wrap_int(stack[-1] * b)
+            elif op is Op.IDIV:
+                b = stack.pop()
+                a = stack[-1]
+                if b == 0:
+                    raise ArithmeticFault("integer division by zero")
+                stack[-1] = wrap_int(_idiv(a, b))
+            elif op is Op.IMOD:
+                b = stack.pop()
+                a = stack[-1]
+                if b == 0:
+                    raise ArithmeticFault("integer modulo by zero")
+                stack[-1] = wrap_int(a - _idiv(a, b) * b)
+            elif op is Op.INEG:
+                stack[-1] = wrap_int(-stack[-1])
+            elif op is Op.IAND:
+                b = stack.pop()
+                stack[-1] = wrap_int(stack[-1] & b)
+            elif op is Op.IOR:
+                b = stack.pop()
+                stack[-1] = wrap_int(stack[-1] | b)
+            elif op is Op.IXOR:
+                b = stack.pop()
+                stack[-1] = wrap_int(stack[-1] ^ b)
+            elif op is Op.ISHL:
+                b = stack.pop() & 63
+                stack[-1] = wrap_int(stack[-1] << b)
+            elif op is Op.ISHR:
+                b = stack.pop() & 63
+                stack[-1] = wrap_int(stack[-1] >> b)
+
+            elif op is Op.FADD:
+                b = stack.pop()
+                stack[-1] = stack[-1] + b
+            elif op is Op.FSUB:
+                b = stack.pop()
+                stack[-1] = stack[-1] - b
+            elif op is Op.FMUL:
+                b = stack.pop()
+                stack[-1] = stack[-1] * b
+            elif op is Op.FDIV:
+                b = stack.pop()
+                if b == 0.0:
+                    raise ArithmeticFault("float division by zero")
+                stack[-1] = stack[-1] / b
+            elif op is Op.FNEG:
+                stack[-1] = -stack[-1]
+
+            elif op is Op.I2F:
+                stack[-1] = float(stack[-1])
+            elif op is Op.F2I:
+                stack[-1] = _f2i(stack[-1])
+            elif op is Op.I2S:
+                s = str(stack[-1])
+                account.charge_memory(len(s))
+                stack[-1] = s
+            elif op is Op.F2S:
+                s = repr(stack[-1])
+                account.charge_memory(len(s))
+                stack[-1] = s
+
+            elif op is Op.ICMPLT or op is Op.FCMPLT:
+                b = stack.pop()
+                stack[-1] = stack[-1] < b
+            elif op is Op.ICMPLE or op is Op.FCMPLE:
+                b = stack.pop()
+                stack[-1] = stack[-1] <= b
+            elif op is Op.ICMPGT or op is Op.FCMPGT:
+                b = stack.pop()
+                stack[-1] = stack[-1] > b
+            elif op is Op.ICMPGE or op is Op.FCMPGE:
+                b = stack.pop()
+                stack[-1] = stack[-1] >= b
+            elif op is Op.ICMPEQ or op is Op.FCMPEQ or op is Op.SEQ:
+                b = stack.pop()
+                stack[-1] = stack[-1] == b
+            elif op is Op.ICMPNE or op is Op.FCMPNE:
+                b = stack.pop()
+                stack[-1] = stack[-1] != b
+
+            elif op is Op.NOT:
+                stack[-1] = not stack[-1]
+            elif op is Op.BAND:
+                b = stack.pop()
+                stack[-1] = stack[-1] and b
+            elif op is Op.BOR:
+                b = stack.pop()
+                stack[-1] = stack[-1] or b
+
+            elif op is Op.SCONCAT:
+                b = stack.pop()
+                a = stack[-1]
+                account.charge_memory(len(a) + len(b))
+                stack[-1] = a + b
+            elif op is Op.SLEN:
+                stack[-1] = len(stack[-1])
+            elif op is Op.SINDEX:
+                i = stack.pop()
+                s = stack[-1]
+                if not 0 <= i < len(s):
+                    raise BoundsError(
+                        f"string index {i} out of range [0, {len(s)})"
+                    )
+                stack[-1] = ord(s[i])
+            elif op is Op.SSUB:
+                end = stack.pop()
+                start = stack.pop()
+                s = stack[-1]
+                if not (0 <= start <= end <= len(s)):
+                    raise BoundsError(
+                        f"substring [{start}:{end}] out of range for "
+                        f"length {len(s)}"
+                    )
+                account.charge_memory(end - start)
+                stack[-1] = s[start:end]
+
+            elif op is Op.NEWARR:
+                n = stack.pop()
+                if n < 0:
+                    raise BoundsError(f"negative array size {n}")
+                account.charge_memory(n)
+                stack.append(bytearray(n))
+            elif op is Op.ALOAD:
+                i = stack.pop()
+                arr = stack[-1]
+                if not 0 <= i < len(arr):
+                    raise BoundsError(
+                        f"array index {i} out of range [0, {len(arr)})"
+                    )
+                stack[-1] = arr[i]
+            elif op is Op.ASTORE:
+                v = stack.pop()
+                i = stack.pop()
+                arr = stack.pop()
+                if not 0 <= i < len(arr):
+                    raise BoundsError(
+                        f"array index {i} out of range [0, {len(arr)})"
+                    )
+                arr[i] = v & 0xFF
+            elif op is Op.ALEN:
+                stack[-1] = len(stack[-1])
+            elif op is Op.ACOPY:
+                arr = stack[-1]
+                account.charge_memory(len(arr))
+                stack[-1] = bytearray(arr)
+
+            elif op is Op.NEWFARR:
+                n = stack.pop()
+                if n < 0:
+                    raise BoundsError(f"negative array size {n}")
+                account.charge_memory(8 * n)
+                stack.append(array("d", bytes(8 * n)))
+            elif op is Op.FALOAD:
+                i = stack.pop()
+                arr = stack[-1]
+                if not 0 <= i < len(arr):
+                    raise BoundsError(
+                        f"array index {i} out of range [0, {len(arr)})"
+                    )
+                stack[-1] = arr[i]
+            elif op is Op.FASTORE:
+                v = stack.pop()
+                i = stack.pop()
+                arr = stack.pop()
+                if not 0 <= i < len(arr):
+                    raise BoundsError(
+                        f"array index {i} out of range [0, {len(arr)})"
+                    )
+                arr[i] = v
+            elif op is Op.FALEN:
+                stack[-1] = len(stack[-1])
+
+            elif op is Op.JMP:
+                pc = ins.arg
+            elif op is Op.JZ:
+                if not stack.pop():
+                    pc = ins.arg
+            elif op is Op.JNZ:
+                if stack.pop():
+                    pc = ins.arg
+            elif op is Op.RET:
+                return stack.pop()
+            elif op is Op.RETV:
+                return None
+
+            elif op is Op.POP:
+                stack.pop()
+            elif op is Op.DUP:
+                stack.append(stack[-1])
+            elif op is Op.SWAP:
+                stack[-1], stack[-2] = stack[-2], stack[-1]
+
+            elif op is Op.CALL:
+                class_name, func_name = cls.constant(ins.arg, K_FUNC)
+                callee_cls, callee = ctx.resolve_function(class_name, func_name)
+                nparams = len(callee.param_types)
+                call_args = stack[len(stack) - nparams:]
+                del stack[len(stack) - nparams:]
+                result = _execute(callee_cls, callee, call_args, ctx)
+                if callee.ret_type is not VMType.VOID:
+                    stack.append(result)
+            elif op is Op.NATIVE:
+                (name,) = cls.constant(ins.arg, K_NATIVE)
+                from .stdlib import NATIVE_SIGNATURES
+
+                nparams = len(NATIVE_SIGNATURES[name][0])
+                call_args = stack[len(stack) - nparams:]
+                del stack[len(stack) - nparams:]
+                result = ctx.invoke_native(name, call_args)
+                if NATIVE_SIGNATURES[name][1] is not VMType.VOID:
+                    stack.append(result)
+            elif op is Op.CALLBACK:
+                (name,) = cls.constant(ins.arg, K_CALLBACK)
+                try:
+                    sig = ctx.callback_signatures[name]
+                except KeyError:
+                    raise LinkError(f"no signature for callback {name!r}") from None
+                nparams = len(sig[0])
+                call_args = stack[len(stack) - nparams:]
+                del stack[len(stack) - nparams:]
+                result = ctx.invoke_callback(name, call_args)
+                if sig[1] is not VMType.VOID:
+                    stack.append(coerce_argument(result, sig[1]))
+            else:  # pragma: no cover - verifier admits only known opcodes
+                raise VMRuntimeError(f"unknown opcode {op}")
+    finally:
+        account.exit_call()
+
+
+def _idiv(a: int, b: int) -> int:
+    """Java-style integer division: truncation toward zero."""
+    q = abs(a) // abs(b)
+    return q if (a >= 0) == (b >= 0) else -q
+
+
+def _f2i(x: float) -> int:
+    if math.isnan(x):
+        raise ArithmeticFault("cannot convert NaN to int")
+    if math.isinf(x) or not (INT_MIN <= x <= INT_MAX):
+        raise ArithmeticFault(f"float {x!r} does not fit the int range")
+    return int(x)

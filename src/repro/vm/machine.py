@@ -1,0 +1,193 @@
+"""The JaguarVM embedding facade.
+
+Section 4.2 of the paper: "a single JVM is created when the database
+server starts up, and is used until shutdown.  Each Java UDF is packaged
+as a method within its own class."  :class:`JaguarVM` plays that role
+here: the server instantiates one at startup, loads each registered UDF
+into its own isolated class loader, and invokes entry points across the
+JNI-analog boundary.
+
+Every loaded UDF carries its own security manager (permissions + audit
+log), class-loader namespace, and JIT cache.  Resource quotas are set at
+load time and charged per invocation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Sequence, Union
+
+from ..errors import LinkError
+from .classfile import ClassFile
+from .classloader import SystemClassLoader, UDFClassLoader
+from .interpreter import ExecutionContext, run_function
+from .jit import JitCompiler, invoke_jit
+from .resources import (
+    DEFAULT_FUEL,
+    DEFAULT_MAX_DEPTH,
+    DEFAULT_MEMORY,
+    ResourceAccount,
+)
+from .security import Permissions, SecurityManager, Signature
+
+
+class LoadedUDF:
+    """One UDF admitted into the VM: classes + policy + JIT cache."""
+
+    def __init__(
+        self,
+        name: str,
+        loader: UDFClassLoader,
+        main_class: ClassFile,
+        security: SecurityManager,
+        callbacks: Dict[str, Callable],
+        use_jit: bool,
+        fuel: int,
+        memory: int,
+        max_depth: int,
+    ):
+        self.name = name
+        self.loader = loader
+        self.main_class = main_class
+        self.security = security
+        self.callbacks = callbacks
+        self.use_jit = use_jit
+        self.fuel = fuel
+        self.memory = memory
+        self.max_depth = max_depth
+        self._jit = JitCompiler(loader.resolve_class)
+
+    def new_account(self) -> ResourceAccount:
+        """A fresh quota for one invocation."""
+        return ResourceAccount(
+            fuel=self.fuel, memory=self.memory, max_depth=self.max_depth
+        )
+
+    def make_context(
+        self,
+        account: Optional[ResourceAccount] = None,
+        callbacks: Optional[Dict[str, Callable]] = None,
+    ) -> ExecutionContext:
+        return ExecutionContext(
+            resolve_function=self.loader.resolve_function,
+            callbacks=callbacks if callbacks is not None else self.callbacks,
+            security=self.security,
+            account=account if account is not None else self.new_account(),
+            callback_signatures=self.loader.callback_signatures,
+        )
+
+    def invoke(
+        self,
+        func_name: str,
+        args: Sequence[object],
+        account: Optional[ResourceAccount] = None,
+        callbacks: Optional[Dict[str, Callable]] = None,
+        context: Optional[ExecutionContext] = None,
+    ) -> object:
+        """Run ``main_class.func_name(*args)`` inside the sandbox.
+
+        ``context`` lets callers reuse one context (and one resource
+        account) across many invocations — the per-tuple fast path the
+        UDF executors use; otherwise a fresh account is created.
+        """
+        func = self.main_class.functions.get(func_name)
+        if func is None:
+            raise LinkError(
+                f"UDF {self.name!r} has no function {func_name!r}"
+            )
+        ctx = context if context is not None else self.make_context(
+            account=account, callbacks=callbacks
+        )
+        if self.use_jit:
+            return invoke_jit(self.main_class, func, args, ctx, self._jit)
+        return run_function(self.main_class, func, args, ctx)
+
+
+class JaguarVM:
+    """The single, server-lifetime VM instance.
+
+    ``callback_signatures`` declares the server callbacks visible to
+    verification; actual handler callables are supplied per UDF (or per
+    invocation), because handlers usually close over query state.
+    """
+
+    def __init__(
+        self,
+        callback_signatures: Optional[Dict[str, Signature]] = None,
+        use_jit: bool = True,
+    ):
+        if callback_signatures is None:
+            from ..core.callbacks import standard_callback_signatures
+
+            callback_signatures = standard_callback_signatures()
+        self.callback_signatures = callback_signatures
+        self.use_jit = use_jit
+        self.system_loader = SystemClassLoader(callback_signatures)
+        self._udfs: Dict[str, LoadedUDF] = {}
+
+    def define_system_class(self, source: Union[bytes, ClassFile]) -> ClassFile:
+        """Admit a trusted shared class (e.g. ADT helpers) for all UDFs."""
+        return self.system_loader.define_class(source)
+
+    def load_udf(
+        self,
+        name: str,
+        classfiles: Sequence[Union[bytes, ClassFile]],
+        main_class: Optional[str] = None,
+        permissions: Optional[Permissions] = None,
+        callbacks: Optional[Dict[str, Callable]] = None,
+        fuel: int = DEFAULT_FUEL,
+        memory: int = DEFAULT_MEMORY,
+        max_depth: int = DEFAULT_MAX_DEPTH,
+    ) -> LoadedUDF:
+        """Load (decode, verify, link) a UDF into its own namespace.
+
+        ``classfiles`` are admitted in order, so dependencies come first
+        and the main class last; ``main_class`` defaults to the last one
+        admitted.
+        """
+        if name in self._udfs:
+            raise LinkError(f"UDF {name!r} is already loaded")
+        if not classfiles:
+            raise LinkError(f"UDF {name!r} supplies no classfiles")
+        loader = UDFClassLoader(
+            udf_name=name,
+            parent=self.system_loader,
+            callback_signatures=self.callback_signatures,
+        )
+        admitted = [loader.define_class(source) for source in classfiles]
+        if main_class is None:
+            main = admitted[-1]
+        else:
+            main = loader.resolve_class(main_class)
+        security = SecurityManager(
+            class_name=main.name,
+            permissions=permissions if permissions is not None
+            else Permissions.none(),
+        )
+        udf = LoadedUDF(
+            name=name,
+            loader=loader,
+            main_class=main,
+            security=security,
+            callbacks=callbacks or {},
+            use_jit=self.use_jit,
+            fuel=fuel,
+            memory=memory,
+            max_depth=max_depth,
+        )
+        self._udfs[name] = udf
+        return udf
+
+    def get_udf(self, name: str) -> LoadedUDF:
+        try:
+            return self._udfs[name]
+        except KeyError:
+            raise LinkError(f"UDF {name!r} is not loaded") from None
+
+    def unload_udf(self, name: str) -> None:
+        """Drop a UDF; its loader, classes, and JIT cache become garbage."""
+        self._udfs.pop(name, None)
+
+    @property
+    def loaded_udfs(self) -> Dict[str, LoadedUDF]:
+        return dict(self._udfs)

@@ -1,0 +1,245 @@
+"""JaguarVM instruction set.
+
+The instruction set is *typed*, like JVM bytecode: there is an ``IADD`` and
+an ``FADD`` rather than one polymorphic ``ADD``.  Typed opcodes let the
+verifier prove memory safety with a simple dataflow pass (Section 6.1 of
+the paper: "bytecode verification ... ensures the well-typedness of the
+code"), after which the interpreter and JIT may execute without per-
+instruction type dispatch.
+
+Instructions are ``(opcode, arg)`` pairs.  ``arg`` is an immediate value,
+a local-variable slot index, a constant-pool index, or a jump target
+(an *instruction* index — the VM has no variable-width encoding, so every
+integer in ``range(len(code))`` is a valid alignment).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from .values import VMType
+
+I = VMType.INT
+F = VMType.FLOAT
+B = VMType.BOOL
+S = VMType.STR
+A = VMType.ARR
+FA = VMType.FARR
+
+
+class Op(enum.IntEnum):
+    """Every JaguarVM opcode."""
+
+    # constants -----------------------------------------------------------
+    ICONST = 1     # arg: int immediate               -> push INT
+    FCONST = 2     # arg: float immediate             -> push FLOAT
+    BCONST = 3     # arg: 0 or 1                      -> push BOOL
+    SCONST = 4     # arg: constant-pool string index  -> push STR
+
+    # locals ---------------------------------------------------------------
+    LOAD = 10      # arg: slot index                  -> push locals[arg]
+    STORE = 11     # arg: slot index                  -> pop into locals[arg]
+
+    # stack ----------------------------------------------------------------
+    POP = 20
+    DUP = 21
+    SWAP = 22
+
+    # integer arithmetic (64-bit two's complement) ---------------------------
+    IADD = 30
+    ISUB = 31
+    IMUL = 32
+    IDIV = 33      # traps on divide-by-zero
+    IMOD = 34      # traps on divide-by-zero
+    INEG = 35
+    IAND = 36
+    IOR = 37
+    IXOR = 38
+    ISHL = 39      # shift count masked to 0..63
+    ISHR = 40      # arithmetic shift; count masked to 0..63
+
+    # float arithmetic -------------------------------------------------------
+    FADD = 50
+    FSUB = 51
+    FMUL = 52
+    FDIV = 53      # traps on divide-by-zero
+    FNEG = 54
+
+    # conversions ------------------------------------------------------------
+    I2F = 60
+    F2I = 61       # truncates toward zero; traps on NaN/overflow
+    I2S = 62       # int -> decimal string
+    F2S = 63       # float -> repr string
+
+    # integer comparisons -> BOOL ---------------------------------------------
+    ICMPLT = 70
+    ICMPLE = 71
+    ICMPGT = 72
+    ICMPGE = 73
+    ICMPEQ = 74
+    ICMPNE = 75
+
+    # float comparisons -> BOOL -------------------------------------------------
+    FCMPLT = 80
+    FCMPLE = 81
+    FCMPGT = 82
+    FCMPGE = 83
+    FCMPEQ = 84
+    FCMPNE = 85
+
+    # booleans --------------------------------------------------------------
+    NOT = 90
+    BAND = 91      # non-short-circuit; the compiler uses jumps for and/or
+    BOR = 92
+
+    # strings ----------------------------------------------------------------
+    SCONCAT = 100  # pop b, a -> push a + b (allocation-accounted)
+    SLEN = 101
+    SEQ = 102      # -> BOOL
+    SINDEX = 103   # pop idx, s -> push byte value of char (bounds-checked)
+    SSUB = 104     # pop end, start, s -> push s[start:end] (bounds-checked)
+
+    # byte arrays --------------------------------------------------------------
+    NEWARR = 110   # pop size -> push zeroed ARR (allocation-accounted)
+    ALOAD = 111    # pop idx, arr -> push INT          (bounds-checked)
+    ASTORE = 112   # pop val, idx, arr                  (bounds-checked)
+    ALEN = 113
+    ACOPY = 114    # pop arr -> push copy (allocation-accounted)
+
+    # float arrays ---------------------------------------------------------------
+    NEWFARR = 120  # pop size -> push zeroed FARR (allocation-accounted)
+    FALOAD = 121   # pop idx, arr -> push FLOAT        (bounds-checked)
+    FASTORE = 122  # pop val, idx, arr                  (bounds-checked)
+    FALEN = 123
+
+    # control flow -----------------------------------------------------------
+    JMP = 130      # arg: target
+    JZ = 131       # pop BOOL; jump if false
+    JNZ = 132      # pop BOOL; jump if true
+    RET = 133      # pop return value (function's declared return type)
+    RETV = 134     # return void
+
+    # calls -------------------------------------------------------------------
+    CALL = 140     # arg: constant-pool funcref; resolved via class loader
+    NATIVE = 141   # arg: constant-pool nativeref (trusted stdlib)
+    CALLBACK = 142 # arg: constant-pool callbackref (server interaction,
+                   # interposed by the security manager)
+
+
+@dataclass(frozen=True)
+class Instr:
+    """One decoded instruction."""
+
+    __slots__ = ("op", "arg")
+
+    op: Op
+    arg: object
+
+    def __repr__(self) -> str:
+        if self.arg is None:
+            return self.op.name
+        return f"{self.op.name} {self.arg!r}"
+
+
+def instr(op: Op, arg: object = None) -> Instr:
+    """Convenience constructor used by the compiler and tests."""
+    return Instr(op, arg)
+
+
+# ---------------------------------------------------------------------------
+# Static stack effects
+# ---------------------------------------------------------------------------
+# Maps each opcode with a *fixed* stack effect to (pops, pushes), where both
+# are tuples of VMType; pops are listed bottom-to-top (the deepest operand
+# first).  Opcodes whose effect depends on the instruction argument
+# (LOAD/STORE, DUP/SWAP/POP, calls, returns) are absent and handled
+# explicitly by the verifier.
+
+FIXED_EFFECTS: dict[Op, Tuple[Tuple[VMType, ...], Tuple[VMType, ...]]] = {
+    Op.IADD: ((I, I), (I,)),
+    Op.ISUB: ((I, I), (I,)),
+    Op.IMUL: ((I, I), (I,)),
+    Op.IDIV: ((I, I), (I,)),
+    Op.IMOD: ((I, I), (I,)),
+    Op.INEG: ((I,), (I,)),
+    Op.IAND: ((I, I), (I,)),
+    Op.IOR: ((I, I), (I,)),
+    Op.IXOR: ((I, I), (I,)),
+    Op.ISHL: ((I, I), (I,)),
+    Op.ISHR: ((I, I), (I,)),
+    Op.FADD: ((F, F), (F,)),
+    Op.FSUB: ((F, F), (F,)),
+    Op.FMUL: ((F, F), (F,)),
+    Op.FDIV: ((F, F), (F,)),
+    Op.FNEG: ((F,), (F,)),
+    Op.I2F: ((I,), (F,)),
+    Op.F2I: ((F,), (I,)),
+    Op.I2S: ((I,), (S,)),
+    Op.F2S: ((F,), (S,)),
+    Op.ICMPLT: ((I, I), (B,)),
+    Op.ICMPLE: ((I, I), (B,)),
+    Op.ICMPGT: ((I, I), (B,)),
+    Op.ICMPGE: ((I, I), (B,)),
+    Op.ICMPEQ: ((I, I), (B,)),
+    Op.ICMPNE: ((I, I), (B,)),
+    Op.FCMPLT: ((F, F), (B,)),
+    Op.FCMPLE: ((F, F), (B,)),
+    Op.FCMPGT: ((F, F), (B,)),
+    Op.FCMPGE: ((F, F), (B,)),
+    Op.FCMPEQ: ((F, F), (B,)),
+    Op.FCMPNE: ((F, F), (B,)),
+    Op.NOT: ((B,), (B,)),
+    Op.BAND: ((B, B), (B,)),
+    Op.BOR: ((B, B), (B,)),
+    Op.SCONCAT: ((S, S), (S,)),
+    Op.SLEN: ((S,), (I,)),
+    Op.SEQ: ((S, S), (B,)),
+    Op.SINDEX: ((S, I), (I,)),
+    Op.SSUB: ((S, I, I), (S,)),
+    Op.NEWARR: ((I,), (A,)),
+    Op.ALOAD: ((A, I), (I,)),
+    Op.ASTORE: ((A, I, I), ()),
+    Op.ALEN: ((A,), (I,)),
+    Op.ACOPY: ((A,), (A,)),
+    Op.NEWFARR: ((I,), (FA,)),
+    Op.FALOAD: ((FA, I), (F,)),
+    Op.FASTORE: ((FA, I, F), ()),
+    Op.FALEN: ((FA,), (I,)),
+    Op.JZ: ((B,), ()),
+    Op.JNZ: ((B,), ()),
+}
+
+#: Opcodes that transfer control (the verifier treats their arg as a target).
+BRANCH_OPS = frozenset({Op.JMP, Op.JZ, Op.JNZ})
+
+#: Opcodes after which execution never falls through.
+TERMINATOR_OPS = frozenset({Op.JMP, Op.RET, Op.RETV})
+
+#: Opcodes whose arg indexes the constant pool.
+POOL_OPS = frozenset({Op.SCONST, Op.CALL, Op.NATIVE, Op.CALLBACK})
+
+
+def check_arg_shape(op: Op, arg: object) -> Optional[str]:
+    """Structural check of an instruction argument; returns an error string.
+
+    This is the *format* check done at classfile-decode time; range checks
+    against the actual code/pool/locals sizes belong to the verifier.
+    """
+    if op in (Op.ICONST,):
+        if not isinstance(arg, int) or isinstance(arg, bool):
+            return f"{op.name} needs an int immediate"
+    elif op is Op.FCONST:
+        if not isinstance(arg, float):
+            return f"{op.name} needs a float immediate"
+    elif op is Op.BCONST:
+        if arg not in (0, 1):
+            return f"{op.name} needs 0 or 1"
+    elif op in (Op.LOAD, Op.STORE) or op in BRANCH_OPS or op in POOL_OPS:
+        if not isinstance(arg, int) or isinstance(arg, bool) or arg < 0:
+            return f"{op.name} needs a non-negative index"
+    else:
+        if arg is not None:
+            return f"{op.name} takes no argument"
+    return None

@@ -1,0 +1,120 @@
+"""JaguarVM security manager.
+
+The run-time half of the sandbox (Section 6.1): every interaction between
+sandboxed code and its environment — callbacks to the database server,
+native stdlib calls, thread creation — is interposed by a
+:class:`SecurityManager` holding an explicit :class:`Permissions` set.
+Following the least-privilege principle the paper cites ([SS75]), a UDF
+gets exactly the callbacks its registration granted and nothing else.
+
+Unlike the 1998 JVM, the manager also keeps an **audit log**: the paper
+complains that "if the security restrictions are violated, there is no
+mechanism to trace the responsible UDF classes", so every check — allowed
+or denied — is recorded with the responsible class name.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from ..errors import SecurityViolation
+from .values import VMType
+
+Signature = Tuple[Tuple[VMType, ...], VMType]
+
+
+@dataclass(frozen=True)
+class Permissions:
+    """Least-privilege grant for one UDF.
+
+    ``callbacks`` names the server callbacks the UDF may invoke; every
+    other callback is denied even if the server exposes it.  ``natives``
+    of ``None`` grants the whole (trusted, side-effect-free) stdlib, which
+    is the common case; pass a frozenset to restrict further.
+    """
+
+    callbacks: FrozenSet[str] = frozenset()
+    natives: Optional[FrozenSet[str]] = None
+    may_spawn_threads: bool = False
+
+    @staticmethod
+    def none() -> "Permissions":
+        """The default: pure computation only."""
+        return Permissions()
+
+    @staticmethod
+    def with_callbacks(*names: str) -> "Permissions":
+        return Permissions(callbacks=frozenset(names))
+
+
+@dataclass
+class AuditRecord:
+    """One security-relevant event, attributable to a class."""
+
+    timestamp: float
+    class_name: str
+    action: str
+    target: str
+    allowed: bool
+
+
+@dataclass
+class SecurityManager:
+    """Checks every sensitive action of one sandboxed principal.
+
+    A manager is created per UDF registration and shared by all of that
+    UDF's invocations; the audit log therefore accumulates the UDF's
+    whole history, giving the traceability the paper found missing.
+    """
+
+    class_name: str
+    permissions: Permissions = field(default_factory=Permissions.none)
+    audit_log: List[AuditRecord] = field(default_factory=list)
+    allow_all: bool = False
+
+    def _record(self, action: str, target: str, allowed: bool) -> None:
+        self.audit_log.append(
+            AuditRecord(time.time(), self.class_name, action, target, allowed)
+        )
+
+    def check_callback(self, name: str) -> None:
+        """Gate a CALLBACK instruction; raises on denial."""
+        allowed = self.allow_all or name in self.permissions.callbacks
+        self._record("callback", name, allowed)
+        if not allowed:
+            raise SecurityViolation(
+                f"UDF class {self.class_name!r} is not permitted to invoke "
+                f"callback {name!r}"
+            )
+
+    def check_native(self, name: str) -> None:
+        """Gate a NATIVE instruction; raises on denial."""
+        natives = self.permissions.natives
+        allowed = self.allow_all or natives is None or name in natives
+        if not allowed:
+            # Allowed native calls are too hot (and too boring) to log;
+            # denials always are.
+            self._record("native", name, False)
+            raise SecurityViolation(
+                f"UDF class {self.class_name!r} is not permitted to call "
+                f"native {name!r}"
+            )
+
+    def check_spawn_thread(self) -> None:
+        allowed = self.allow_all or self.permissions.may_spawn_threads
+        self._record("spawn_thread", "", allowed)
+        if not allowed:
+            raise SecurityViolation(
+                f"UDF class {self.class_name!r} may not spawn threads"
+            )
+
+    def denials(self) -> List[AuditRecord]:
+        """All denied actions, for the DBA's forensic queries."""
+        return [r for r in self.audit_log if not r.allowed]
+
+
+def open_manager(class_name: str = "<trusted>") -> SecurityManager:
+    """A manager that allows everything; for trusted internal code paths."""
+    return SecurityManager(class_name=class_name, allow_all=True)

@@ -1,0 +1,108 @@
+"""JaguarVM trusted stdlib: native methods available to sandboxed code.
+
+These are the analog of Java's core library natives.  They are trusted
+(implemented in the host language, not verified) so the bar for inclusion
+is strict: every native here is a *pure, total* function of its VM-typed
+arguments — no I/O, no access to server state, no aliasing surprises.
+Anything that touches the server goes through a CALLBACK instead, where
+the security manager interposes per-UDF permissions.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Tuple
+
+from ..errors import ArithmeticFault
+from .values import VMType, wrap_int
+
+I = VMType.INT
+F = VMType.FLOAT
+B = VMType.BOOL
+S = VMType.STR
+A = VMType.ARR
+FA = VMType.FARR
+
+Signature = Tuple[Tuple[VMType, ...], VMType]
+
+
+def _checked_sqrt(x: float) -> float:
+    if x < 0.0:
+        raise ArithmeticFault("sqrt of negative number")
+    return math.sqrt(x)
+
+
+def _checked_log(x: float) -> float:
+    if x <= 0.0:
+        raise ArithmeticFault("log of non-positive number")
+    return math.log(x)
+
+
+def _checked_pow(x: float, y: float) -> float:
+    try:
+        result = math.pow(x, y)
+    except (ValueError, OverflowError) as exc:
+        raise ArithmeticFault(f"pow({x}, {y}): {exc}") from None
+    return result
+
+
+def _checked_exp(x: float) -> float:
+    try:
+        return math.exp(x)
+    except OverflowError:
+        raise ArithmeticFault(f"exp({x}) overflows") from None
+
+
+def _str_of_byte(b: int) -> str:
+    if not 0 <= b <= 0x10FFFF:
+        raise ArithmeticFault(f"chr of out-of-range code point {b}")
+    return chr(b)
+
+
+#: name -> ((parameter types...), return type)
+NATIVE_SIGNATURES: Dict[str, Signature] = {
+    "iabs": ((I,), I),
+    "imin": ((I, I), I),
+    "imax": ((I, I), I),
+    "fabs": ((F,), F),
+    "fmin": ((F, F), F),
+    "fmax": ((F, F), F),
+    "sqrt": ((F,), F),
+    "exp": ((F,), F),
+    "log": ((F,), F),
+    "pow": ((F, F), F),
+    "sin": ((F,), F),
+    "cos": ((F,), F),
+    "floor": ((F,), F),
+    "ceil": ((F,), F),
+    "round": ((F,), I),
+    "chr": ((I,), S),
+}
+
+#: name -> host implementation.  Every function takes/returns VM values
+#: of exactly the advertised signature; the verifier guarantees callers
+#: comply, so no defensive conversion happens here (matching JNI).
+NATIVE_IMPLS: Dict[str, Callable] = {
+    "iabs": lambda x: wrap_int(abs(x)),
+    "imin": lambda a, b: a if a < b else b,
+    "imax": lambda a, b: a if a > b else b,
+    "fabs": abs,
+    "fmin": lambda a, b: a if a < b else b,
+    "fmax": lambda a, b: a if a > b else b,
+    "sqrt": _checked_sqrt,
+    "exp": _checked_exp,
+    "log": _checked_log,
+    "pow": _checked_pow,
+    "sin": math.sin,
+    "cos": math.cos,
+    "floor": math.floor,
+    "ceil": math.ceil,
+    "round": lambda x: wrap_int(round(x)),
+    "chr": _str_of_byte,
+}
+
+# ``floor``/``ceil`` return float per signature; math.floor returns int.
+NATIVE_IMPLS["floor"] = lambda x: float(math.floor(x))
+NATIVE_IMPLS["ceil"] = lambda x: float(math.ceil(x))
+
+assert set(NATIVE_SIGNATURES) == set(NATIVE_IMPLS)

@@ -1,0 +1,18 @@
+"""Shared fixtures."""
+
+import pytest
+
+from repro.database import Database
+
+
+@pytest.fixture
+def db():
+    """A fresh in-memory database per test."""
+    database = Database()
+    yield database
+    database.close()
+
+
+@pytest.fixture
+def db_path(tmp_path):
+    return str(tmp_path / "dbdir")

@@ -1,0 +1,158 @@
+"""Callback broker/bindings and the Section 5.6 cost model."""
+
+import pytest
+
+from repro.core.callbacks import CallbackBroker, standard_callback_signatures
+from repro.core.cost_model import CostModel, fit_cost_model, recommend_design
+from repro.core.designs import Design
+from repro.errors import CallbackError
+from repro.vm.values import VMType
+
+
+class TestBroker:
+    def test_standard_callbacks_present(self):
+        broker = CallbackBroker()
+        signatures = broker.signatures()
+        assert set(signatures) >= {"cb_noop", "cb_lob_length", "cb_lob_read"}
+
+    def test_noop_returns_zero(self):
+        binding = CallbackBroker().bind()
+        assert binding.invoke("cb_noop") == 0
+
+    def test_lob_callbacks_over_bytes_handle(self):
+        binding = CallbackBroker().bind({5: b"hello world"})
+        assert binding.invoke("cb_lob_length", 5) == 11
+        assert binding.invoke("cb_lob_read", 5, 6, 5) == bytearray(b"world")
+        assert binding.invoke("cb_lob_read", 5, 6, 100) == bytearray(b"world")
+
+    def test_unknown_handle(self):
+        binding = CallbackBroker().bind()
+        with pytest.raises(CallbackError, match="handle"):
+            binding.invoke("cb_lob_length", 99)
+
+    def test_unknown_callback(self):
+        binding = CallbackBroker().bind()
+        with pytest.raises(CallbackError, match="unknown callback"):
+            binding.invoke("cb_teleport")
+
+    def test_negative_range_rejected(self):
+        binding = CallbackBroker().bind({1: b"abc"})
+        with pytest.raises(CallbackError):
+            binding.invoke("cb_lob_read", 1, -1, 5)
+
+    def test_invocation_counting(self):
+        binding = CallbackBroker().bind()
+        for __ in range(7):
+            binding.invoke("cb_noop")
+        assert binding.invocations == {"cb_noop": 7}
+
+    def test_custom_registration(self):
+        broker = CallbackBroker()
+        broker.register(
+            "cb_double", ((VMType.INT,), VMType.INT),
+            lambda binding, x: x * 2,
+        )
+        assert broker.bind().invoke("cb_double", 21) == 42
+
+    def test_duplicate_registration_rejected(self):
+        broker = CallbackBroker()
+        with pytest.raises(CallbackError, match="already"):
+            broker.register("cb_noop", ((), VMType.INT), lambda b: 0)
+
+    def test_as_handlers_adapts_for_vm(self):
+        binding = CallbackBroker().bind({1: b"xy"})
+        handlers = binding.as_handlers()
+        assert handlers["cb_lob_length"](1) == 2
+
+    def test_signatures_are_copies(self):
+        table = standard_callback_signatures()
+        table["cb_injected"] = ((), VMType.INT)
+        assert "cb_injected" not in standard_callback_signatures()
+
+
+class TestCostModel:
+    def synthetic_samples(self, invoke, indep, dep_byte, callback, data_byte):
+        model = CostModel(
+            Design.SANDBOX_JIT, invoke, indep, dep_byte, callback, data_byte
+        )
+        samples = []
+        for nbytes in (1, 100, 10000):
+            for ni in (0, 1000):
+                for nd in (0, 2):
+                    for nc in (0, 10):
+                        samples.append(
+                            (nbytes, ni, nd, nc,
+                             model.predict(nbytes, ni, nd, nc))
+                        )
+        return samples
+
+    def test_fit_recovers_coefficients(self):
+        truth = (1e-5, 1e-8, 2e-9, 5e-6, 1e-9)
+        samples = self.synthetic_samples(*truth)
+        fitted = fit_cost_model(Design.SANDBOX_JIT, samples)
+        for name, expected in zip(
+            ("invoke", "indep", "dep_byte", "callback", "data_byte"), truth
+        ):
+            assert fitted.as_dict()[name] == pytest.approx(expected, rel=1e-3)
+
+    def test_fit_requires_enough_samples(self):
+        with pytest.raises(ValueError):
+            fit_cost_model(Design.SANDBOX_JIT, [(1, 1, 1, 1, 0.5)])
+
+    def test_negative_coefficients_clamped(self):
+        samples = [
+            (1, 0, 0, 0, 0.0),
+            (1, 1, 0, 0, 0.0),
+            (1, 0, 1, 0, 0.0),
+            (1, 0, 0, 1, 0.0),
+            (100, 0, 0, 0, 0.0),
+            (100, 5, 5, 5, 0.0),
+        ]
+        fitted = fit_cost_model(Design.SANDBOX_JIT, samples)
+        assert all(v >= 0 for v in fitted.as_dict().values())
+
+    def test_recommendation_prefers_cheap_safe_design(self):
+        models = {
+            Design.NATIVE_INTEGRATED: CostModel(
+                Design.NATIVE_INTEGRATED, 1e-6, 1e-9, 1e-10, 1e-6, 0.0
+            ),
+            Design.NATIVE_ISOLATED: CostModel(
+                Design.NATIVE_ISOLATED, 1e-4, 1e-9, 1e-10, 1e-4, 1e-9
+            ),
+            Design.SANDBOX_JIT: CostModel(
+                Design.SANDBOX_JIT, 1e-5, 2e-9, 5e-10, 1e-5, 5e-10
+            ),
+        }
+        # Safety required: Design 1 excluded even though it is cheapest.
+        best, __ = recommend_design(models, 10000, 1000, 1, 0)
+        assert best is Design.SANDBOX_JIT
+        # Without the safety requirement, raw speed wins.
+        best, __ = recommend_design(
+            models, 10000, 1000, 1, 0, require_safety=False
+        )
+        assert best is Design.NATIVE_INTEGRATED
+
+    def test_callback_heavy_workload_shifts_choice(self):
+        models = {
+            Design.NATIVE_ISOLATED: CostModel(
+                Design.NATIVE_ISOLATED, 1e-5, 1e-9, 1e-10, 1e-3, 0.0
+            ),
+            Design.SANDBOX_JIT: CostModel(
+                Design.SANDBOX_JIT, 2e-5, 2e-9, 5e-10, 1e-5, 0.0
+            ),
+        }
+        # Few callbacks: IC++ invoke cost is lower here.
+        best, __ = recommend_design(models, 100, 0, 0, 0)
+        assert best is Design.NATIVE_ISOLATED
+        # Callback-heavy: the per-callback IPC dominates (Figure 8).
+        best, __ = recommend_design(models, 100, 0, 0, 100)
+        assert best is Design.SANDBOX_JIT
+
+    def test_no_admissible_design(self):
+        models = {
+            Design.NATIVE_INTEGRATED: CostModel(
+                Design.NATIVE_INTEGRATED, 0, 0, 0, 0, 0
+            )
+        }
+        with pytest.raises(ValueError):
+            recommend_design(models, 1, 1, 1, 1)

@@ -1,0 +1,96 @@
+"""Design metadata (Table 1) and the SFI guarded buffer."""
+
+import pytest
+
+from repro.core.designs import Design, design_space
+from repro.core.sfi import GuardedBytes
+from repro.errors import SFIViolation
+
+
+class TestDesignEnum:
+    def test_paper_labels(self):
+        assert Design.NATIVE_INTEGRATED.paper_label == "C++"
+        assert Design.NATIVE_ISOLATED.paper_label == "IC++"
+        assert Design.SANDBOX_JIT.paper_label == "JNI"
+
+    def test_isolation_classification(self):
+        assert Design.NATIVE_ISOLATED.is_isolated
+        assert Design.SANDBOX_ISOLATED.is_isolated
+        assert not Design.SANDBOX_JIT.is_isolated
+
+    def test_sandbox_classification(self):
+        sandboxed = {d for d in Design if d.is_sandboxed}
+        assert sandboxed == {
+            Design.SANDBOX_JIT,
+            Design.SANDBOX_INTERP,
+            Design.SANDBOX_ISOLATED,
+        }
+
+    def test_language(self):
+        assert Design.NATIVE_SFI.language == "native"
+        assert Design.SANDBOX_ISOLATED.language == "jaguar"
+
+
+class TestDesignSpace:
+    def test_covers_all_designs(self):
+        assert {p.design for p in design_space()} == set(Design)
+
+    def test_table1_crash_containment_column(self):
+        properties = {p.design: p for p in design_space()}
+        assert not properties[Design.NATIVE_INTEGRATED].crash_contained
+        assert not properties[Design.NATIVE_SFI].crash_contained
+        assert properties[Design.NATIVE_ISOLATED].crash_contained
+        assert properties[Design.SANDBOX_JIT].crash_contained
+
+    def test_only_sandboxes_police_resources(self):
+        for p in design_space():
+            assert p.resources_policed == p.design.is_sandboxed
+
+    def test_only_sandboxes_are_portable(self):
+        for p in design_space():
+            assert p.portable == p.design.is_sandboxed
+
+
+class TestGuardedBytes:
+    def test_basic_access(self):
+        guarded = GuardedBytes(b"abc")
+        assert len(guarded) == 3
+        assert guarded[0] == ord("a")
+        guarded[1] = 999  # masked
+        assert guarded[1] == 999 & 0xFF
+
+    def test_out_of_range_read(self):
+        guarded = GuardedBytes(b"abc")
+        with pytest.raises(SFIViolation):
+            guarded[3]
+        with pytest.raises(SFIViolation):
+            guarded[-1]
+
+    def test_out_of_range_write(self):
+        guarded = GuardedBytes(b"abc")
+        with pytest.raises(SFIViolation):
+            guarded[10] = 0
+
+    def test_slice_read_within_region(self):
+        guarded = GuardedBytes(b"abcdef")
+        assert guarded[1:4] == b"bcd"
+
+    def test_strided_access_denied(self):
+        guarded = GuardedBytes(b"abcdef")
+        with pytest.raises(SFIViolation):
+            guarded[::2]
+
+    def test_slice_store_denied(self):
+        guarded = GuardedBytes(b"abc")
+        with pytest.raises(SFIViolation):
+            guarded[0:2] = b"xy"
+
+    def test_iteration(self):
+        assert list(GuardedBytes(b"ab")) == [ord("a"), ord("b")]
+
+    def test_copy_semantics(self):
+        original = bytearray(b"abc")
+        guarded = GuardedBytes(original)
+        guarded[0] = ord("z")
+        assert original == b"abc"  # the UDF works on its own copy
+        assert guarded.tobytes() == b"zbc"

@@ -1,0 +1,73 @@
+"""DBA kill switch: revoking a running UDF through its thread group."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import FuelExhausted
+
+
+SLOW_UDF = (
+    "def slow(x: int) -> int:\n"
+    "    s: int = 0\n"
+    "    for i in range(100000000):\n"
+    "        s = s + 1\n"
+    "    return s"
+)
+
+
+@pytest.fixture
+def slow_db(db):
+    db.execute("CREATE TABLE t (id INT)")
+    db.execute("INSERT INTO t VALUES (1)")
+    escaped = SLOW_UDF.replace("'", "''")
+    db.execute(
+        f"CREATE FUNCTION slow(int) RETURNS int LANGUAGE JAGUAR "
+        f"DESIGN SANDBOX FUEL 1000000000 AS '{escaped}'"
+    )
+    return db
+
+
+class TestKillUDF:
+    def test_kill_running_query(self, slow_db):
+        outcome = {}
+
+        def run_query():
+            try:
+                outcome["result"] = slow_db.execute(
+                    "SELECT slow(id) FROM t"
+                )
+            except Exception as exc:
+                outcome["error"] = exc
+
+        thread = threading.Thread(target=run_query, daemon=True)
+        thread.start()
+        time.sleep(0.3)  # let the UDF get going
+        assert thread.is_alive(), "query finished before the kill"
+        slow_db.kill_udf("slow")
+        thread.join(timeout=10.0)
+        assert not thread.is_alive()
+        assert isinstance(outcome.get("error"), FuelExhausted)
+
+    def test_other_udfs_unaffected(self, slow_db):
+        slow_db.execute(
+            "CREATE FUNCTION quick(int) RETURNS int LANGUAGE JAGUAR "
+            "DESIGN SANDBOX AS 'def quick(x: int) -> int: return x + 1'"
+        )
+        slow_db.kill_udf("slow")
+        assert slow_db.execute("SELECT quick(id) FROM t").scalar() == 2
+
+    def test_killed_udf_usable_on_next_query(self, slow_db):
+        # Kill while idle: the revocation hits the group, but the next
+        # query gets a fresh group and a fresh account.
+        slow_db.kill_udf("slow")
+        slow_db.execute(
+            "CREATE FUNCTION tiny(int) RETURNS int LANGUAGE JAGUAR "
+            "DESIGN SANDBOX AS 'def tiny(x: int) -> int: return x'"
+        )
+        slow_db.kill_udf("tiny")
+        assert slow_db.execute("SELECT tiny(id) FROM t").scalar() == 1
+
+    def test_kill_unknown_udf_is_noop(self, slow_db):
+        slow_db.kill_udf("never_registered")

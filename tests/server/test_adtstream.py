@@ -1,0 +1,122 @@
+"""ADT stream protocol (Section 6.4): round trips and hostile decodes."""
+
+import io
+from array import array
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ProtocolError
+from repro.server import adtstream
+
+
+def roundtrip(value):
+    return adtstream.loads(adtstream.dumps(value))
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            True,
+            False,
+            0,
+            -1,
+            2 ** 63 - 1,
+            -(2 ** 63),
+            1.5,
+            float("inf"),
+            "",
+            "héllo ▲",
+            b"",
+            b"\x00\xff" * 100,
+        ],
+    )
+    def test_scalars(self, value):
+        assert roundtrip(value) == value
+
+    def test_bool_not_confused_with_int(self):
+        assert roundtrip(True) is True
+        assert roundtrip(1) == 1 and roundtrip(1) is not True
+
+    def test_float_array(self):
+        values = array("d", [1.0, -2.5, 3.25])
+        result = roundtrip(values)
+        assert isinstance(result, array) and result == values
+
+    def test_rows(self):
+        row = (1, "x", None, b"\x01", 2.5)
+        assert roundtrip(row) == row
+
+    def test_nested_rows(self):
+        assert roundtrip((1, (2, (3,)))) == (1, (2, (3,)))
+
+    def test_list_becomes_tuple(self):
+        assert roundtrip([1, 2]) == (1, 2)
+
+    def test_row_batch(self):
+        rows = [(1, "a"), (2, None)]
+        assert adtstream.load_rows(adtstream.dump_rows(rows)) == rows
+
+    def test_bytearray_encodes_as_bytes(self):
+        assert roundtrip(bytearray(b"xy")) == b"xy"
+
+
+class TestRejection:
+    def test_unknown_tag(self):
+        with pytest.raises(ProtocolError, match="tag"):
+            adtstream.loads(b"\x63")
+
+    def test_truncated(self):
+        data = adtstream.dumps("hello")
+        for cut in range(len(data)):
+            with pytest.raises(ProtocolError):
+                adtstream.loads(data[:cut])
+
+    def test_trailing_bytes(self):
+        with pytest.raises(ProtocolError, match="trailing"):
+            adtstream.loads(adtstream.dumps(1) + b"\x00")
+
+    def test_oversized_declared_length(self):
+        bad = bytes([4]) + (2 ** 30).to_bytes(4, "little") + b"x"
+        with pytest.raises(ProtocolError, match="exceeds"):
+            adtstream.loads(bad)
+
+    def test_bad_bool_byte(self):
+        with pytest.raises(ProtocolError, match="bool"):
+            adtstream.loads(bytes([3, 7]))
+
+    def test_invalid_utf8(self):
+        bad = bytes([4]) + (2).to_bytes(4, "little") + b"\xff\xfe"
+        with pytest.raises(ProtocolError, match="utf-8"):
+            adtstream.loads(bad)
+
+    def test_unserializable_value(self):
+        with pytest.raises(ProtocolError):
+            adtstream.dumps(object())
+
+    @settings(max_examples=200)
+    @given(st.binary(max_size=60))
+    def test_random_bytes_never_crash(self, data):
+        try:
+            adtstream.loads(data)
+        except ProtocolError:
+            pass
+
+
+_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2 ** 63), max_value=2 ** 63 - 1),
+    st.floats(allow_nan=False),
+    st.text(max_size=30),
+    st.binary(max_size=60),
+)
+
+
+@settings(max_examples=150)
+@given(st.lists(_scalars, max_size=6).map(tuple))
+def test_row_roundtrip_property(row):
+    assert roundtrip(row) == row

@@ -1,0 +1,83 @@
+"""EXPLAIN: optimized-plan rendering."""
+
+import pytest
+
+
+@pytest.fixture
+def setup(db):
+    db.execute("CREATE TABLE s (id INT, type STRING, h TIMESERIES)")
+    db.execute("CREATE INDEX s_id ON s(id)")
+    db.execute(
+        "CREATE FUNCTION iv(farr) RETURNS float LANGUAGE JAGUAR "
+        "DESIGN SANDBOX COST 2000 SELECTIVITY 0.3 "
+        "AS 'def iv(h: farr) -> float:\n    return 1.0'"
+    )
+    return db
+
+
+def plan_text(db, sql):
+    return "\n".join(row[0] for row in db.query("EXPLAIN " + sql))
+
+
+class TestExplain:
+    def test_returns_plan_not_rows(self, setup):
+        result = setup.execute("EXPLAIN SELECT id FROM s")
+        assert result.columns == ["plan"]
+        assert result.rows
+
+    def test_shows_pushdown_and_predicate_order(self, setup):
+        text = plan_text(
+            setup,
+            "SELECT id FROM s WHERE iv(h) > 5.0 AND type = 'tech'",
+        )
+        assert "SeqScan" in text
+        # The cheap predicate is filter[0]; the expensive UDF follows.
+        cheap = text.index("filter[0]: (s.type = 'tech')")
+        costly = text.index("filter[1]: (iv(s.h) > 5.0)")
+        assert cheap < costly
+
+    def test_shows_index_scan_with_bounds(self, setup):
+        text = plan_text(setup, "SELECT id FROM s WHERE id BETWEEN 3 AND 9")
+        assert "IndexScan s" in text
+        assert "USING s_id [3..9]" in text
+
+    def test_shows_join_tree(self, setup):
+        setup.execute("CREATE TABLE t2 (id INT)")
+        text = plan_text(
+            setup, "SELECT s.id FROM s JOIN t2 ON s.id = t2.id"
+        )
+        assert "NestedLoopJoin" in text
+        assert text.count("Scan") == 2
+        assert "on[0]: (s.id = t2.id)" in text
+
+    def test_shows_aggregate_sort_limit_distinct(self, setup):
+        text = plan_text(
+            setup,
+            "SELECT DISTINCT type, count(*) AS n FROM s GROUP BY type "
+            "ORDER BY n DESC LIMIT 7",
+        )
+        assert "Aggregate groups=[s.type] aggs=[count(*)]" in text
+        assert "Sort [n DESC]" in text
+        assert "Limit 7" in text
+        assert "Distinct" in text
+
+    def test_explain_does_not_execute(self, setup):
+        # The UDF would trap on every row; EXPLAIN must not run it.
+        setup.execute("INSERT INTO s VALUES (1, 't', NULL)")
+        setup.execute(
+            "CREATE FUNCTION boom(int) RETURNS int LANGUAGE JAGUAR "
+            "DESIGN SANDBOX AS "
+            "'def boom(x: int) -> int:\n    return 1 // 0'"
+        )
+        setup.execute("EXPLAIN SELECT id FROM s WHERE boom(id) = 1")
+
+    def test_expression_rendering_roundtrips_shapes(self, setup):
+        text = plan_text(
+            setup,
+            "SELECT id FROM s WHERE type LIKE 'a%' AND id IN (1, 2) "
+            "AND h IS NOT NULL AND NOT (id = 5)",
+        )
+        assert "LIKE 'a%'" in text
+        assert "IN (1, 2)" in text
+        assert "IS NOT NULL" in text
+        assert "NOT" in text

@@ -1,0 +1,84 @@
+"""SQL tokenizer."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.sql.lexer import Token, TokenType, tokenize
+
+
+def kinds(text):
+    return [(t.type, t.value) for t in tokenize(text)[:-1]]
+
+
+class TestTokens:
+    def test_keywords_case_insensitive(self):
+        assert kinds("SELECT select SeLeCt") == [
+            (TokenType.KEYWORD, "select")
+        ] * 3
+
+    def test_identifiers_lowered(self):
+        assert kinds("MyTable x_1") == [
+            (TokenType.IDENT, "mytable"),
+            (TokenType.IDENT, "x_1"),
+        ]
+
+    def test_numbers(self):
+        assert kinds("42 3.14 .5 1e3 2.5e-2") == [
+            (TokenType.INT, "42"),
+            (TokenType.FLOAT, "3.14"),
+            (TokenType.FLOAT, ".5"),
+            (TokenType.FLOAT, "1e3"),
+            (TokenType.FLOAT, "2.5e-2"),
+        ]
+
+    def test_strings_with_escapes(self):
+        assert kinds("'hello' 'it''s'") == [
+            (TokenType.STRING, "hello"),
+            (TokenType.STRING, "it's"),
+        ]
+
+    def test_operators_greedy(self):
+        assert kinds("<= >= <> != < > =") == [
+            (TokenType.OP, "<="),
+            (TokenType.OP, ">="),
+            (TokenType.OP, "<>"),
+            (TokenType.OP, "!="),
+            (TokenType.OP, "<"),
+            (TokenType.OP, ">"),
+            (TokenType.OP, "="),
+        ]
+
+    def test_comments_skipped(self):
+        assert kinds("1 -- a comment\n2") == [
+            (TokenType.INT, "1"),
+            (TokenType.INT, "2"),
+        ]
+
+    def test_minus_not_comment(self):
+        assert kinds("1 - 2") == [
+            (TokenType.INT, "1"),
+            (TokenType.OP, "-"),
+            (TokenType.INT, "2"),
+        ]
+
+    def test_qualified_name_tokens(self):
+        assert kinds("a.b") == [
+            (TokenType.IDENT, "a"),
+            (TokenType.OP, "."),
+            (TokenType.IDENT, "b"),
+        ]
+
+    def test_eof_always_present(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].type is TokenType.EOF
+
+
+class TestErrors:
+    def test_unterminated_string(self):
+        with pytest.raises(LexError, match="unterminated"):
+            tokenize("'oops")
+
+    def test_bad_character(self):
+        with pytest.raises(LexError, match="unexpected"):
+            tokenize("select @")

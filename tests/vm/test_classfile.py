@@ -1,0 +1,153 @@
+"""Classfile (de)serialization: round trips and hostile-input fuzzing."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ClassFormatError
+from repro.vm import compile_source
+from repro.vm.classfile import (
+    ClassFile,
+    FunctionDef,
+    MAX_CODE,
+    PoolEntry,
+)
+from repro.vm.opcodes import Instr, Op
+from repro.vm.values import VMType
+
+SOURCE = '''
+def helper(x: int) -> int:
+    return x + 1
+
+def main(data: bytes, n: int) -> int:
+    s: int = 0
+    for i in range(n):
+        s = helper(s) + iabs(-1)
+    msg: str = "total: " + str(s)
+    return s + len(msg) + len(data)
+'''
+
+
+def compiled():
+    return compile_source(SOURCE, "RoundTrip")
+
+
+class TestRoundTrip:
+    def test_identity(self):
+        cls = compiled()
+        data = cls.to_bytes()
+        back = ClassFile.from_bytes(data)
+        assert back.name == cls.name
+        assert back.pool == cls.pool
+        assert set(back.functions) == set(cls.functions)
+        for name, func in cls.functions.items():
+            other = back.functions[name]
+            assert other.param_types == func.param_types
+            assert other.ret_type == func.ret_type
+            assert other.local_types == func.local_types
+            assert other.code == func.code
+
+    def test_reencode_stable(self):
+        data = compiled().to_bytes()
+        assert ClassFile.from_bytes(data).to_bytes() == data
+
+    def test_verified_flag_not_serialized(self):
+        from repro.vm import verify_class
+
+        cls = compiled()
+        verify_class(cls)
+        assert cls.verified
+        assert not ClassFile.from_bytes(cls.to_bytes()).verified
+
+    def test_unicode_names_and_strings(self):
+        cls = ClassFile(name="Ünïcødé")
+        index = cls.pool_index(PoolEntry.string("héllo ▲ wörld"))
+        cls.add_function(
+            FunctionDef(
+                name="f",
+                param_types=(),
+                ret_type=VMType.STR,
+                local_types=(),
+                code=(Instr(Op.SCONST, index), Instr(Op.RET, None)),
+            )
+        )
+        back = ClassFile.from_bytes(cls.to_bytes())
+        assert back.pool[index].value[0] == "héllo ▲ wörld"
+
+
+class TestHostileInputs:
+    def reject(self, data):
+        with pytest.raises(ClassFormatError):
+            ClassFile.from_bytes(data)
+
+    def test_bad_magic(self):
+        self.reject(b"NOPE" + compiled().to_bytes()[4:])
+
+    def test_truncations_always_rejected(self):
+        data = compiled().to_bytes()
+        for cut in range(0, len(data) - 1, 7):
+            self.reject(data[:cut])
+
+    def test_trailing_garbage(self):
+        self.reject(compiled().to_bytes() + b"\x00")
+
+    def test_bad_version(self):
+        data = bytearray(compiled().to_bytes())
+        data[4] = 99
+        self.reject(bytes(data))
+
+    def test_duplicate_function_names(self):
+        cls = ClassFile(name="Dup")
+        func = FunctionDef(
+            name="f", param_types=(), ret_type=VMType.INT,
+            local_types=(),
+            code=(Instr(Op.ICONST, 1), Instr(Op.RET, None)),
+        )
+        cls.add_function(func)
+        with pytest.raises(ClassFormatError, match="duplicate"):
+            cls.add_function(func)
+
+    def test_locals_fewer_than_params_rejected(self):
+        with pytest.raises(ClassFormatError, match="fewer locals"):
+            FunctionDef(
+                name="f",
+                param_types=(VMType.INT,),
+                ret_type=VMType.INT,
+                local_types=(),
+                code=(Instr(Op.ICONST, 1), Instr(Op.RET, None)),
+            )
+
+    def test_param_local_type_mismatch_rejected(self):
+        with pytest.raises(ClassFormatError, match="does not match"):
+            FunctionDef(
+                name="f",
+                param_types=(VMType.INT,),
+                ret_type=VMType.INT,
+                local_types=(VMType.FLOAT,),
+                code=(Instr(Op.ICONST, 1), Instr(Op.RET, None)),
+            )
+
+    @settings(max_examples=200)
+    @given(st.binary(min_size=0, max_size=400))
+    def test_random_bytes_never_crash_decoder(self, data):
+        """Decoder total: random input either parses or raises
+        ClassFormatError — never any other exception."""
+        try:
+            ClassFile.from_bytes(data)
+        except ClassFormatError:
+            pass
+
+    @settings(max_examples=150)
+    @given(
+        st.integers(min_value=0, max_value=600),
+        st.binary(min_size=1, max_size=8),
+    )
+    def test_bitflips_never_crash_decoder(self, position, junk):
+        """Corrupting a valid classfile is safe: parse or reject."""
+        data = bytearray(compiled().to_bytes())
+        position %= len(data)
+        data[position:position + len(junk)] = junk
+        try:
+            ClassFile.from_bytes(bytes(data))
+        except ClassFormatError:
+            pass

@@ -1,0 +1,142 @@
+"""Class loaders: parent delegation and per-UDF namespace isolation."""
+
+import pytest
+
+from repro.errors import LinkError, VerifyError
+from repro.vm import compile_source
+from repro.vm.classloader import SystemClassLoader, UDFClassLoader
+
+HELPER = "def tw(x: int) -> int:\n    return x * 2"
+MAIN_A = "def main(x: int) -> int:\n    return x + 1"
+MAIN_B = "def main(x: int) -> int:\n    return x + 2"
+
+
+class TestIsolation:
+    def test_two_udfs_can_both_define_main(self):
+        """Section 6.1: each UDF's loader isolates its namespace."""
+        system = SystemClassLoader()
+        loader_a = UDFClassLoader("a", system)
+        loader_b = UDFClassLoader("b", system)
+        loader_a.define_class(compile_source(MAIN_A, "Main"))
+        loader_b.define_class(compile_source(MAIN_B, "Main"))
+        cls_a = loader_a.resolve_class("Main")
+        cls_b = loader_b.resolve_class("Main")
+        assert cls_a is not cls_b
+
+    def test_udf_cannot_see_siblings_classes(self):
+        system = SystemClassLoader()
+        loader_a = UDFClassLoader("a", system)
+        loader_b = UDFClassLoader("b", system)
+        loader_a.define_class(compile_source(MAIN_A, "SecretA"))
+        with pytest.raises(LinkError):
+            loader_b.resolve_class("SecretA")
+
+    def test_parent_first_delegation(self):
+        system = SystemClassLoader()
+        shared = compile_source(HELPER, "Shared")
+        system.define_class(shared)
+        loader = UDFClassLoader("u", system)
+        assert loader.resolve_class("Shared") is shared
+
+    def test_udf_cannot_shadow_system_class(self):
+        """Parent-first delegation means the system version wins even if
+        the UDF defines a class with the same name."""
+        system = SystemClassLoader()
+        trusted = compile_source(HELPER, "Shared")
+        system.define_class(trusted)
+        loader = UDFClassLoader("u", system)
+        impostor = compile_source("def tw(x: int) -> int:\n    return 0", "Shared")
+        loader.define_class(impostor)
+        assert loader.resolve_class("Shared") is trusted
+
+    def test_duplicate_definition_rejected(self):
+        system = SystemClassLoader()
+        loader = UDFClassLoader("u", system)
+        loader.define_class(compile_source(MAIN_A, "Main"))
+        with pytest.raises(LinkError, match="already defines"):
+            loader.define_class(compile_source(MAIN_B, "Main"))
+
+
+class TestVerificationAtDefinition:
+    def test_define_verifies(self):
+        system = SystemClassLoader()
+        loader = UDFClassLoader("u", system)
+        cls = loader.define_class(compile_source(MAIN_A, "Main"))
+        assert cls.verified
+
+    def test_bad_class_not_admitted(self):
+        from repro.vm.classfile import ClassFile, FunctionDef
+        from repro.vm.opcodes import Instr, Op
+        from repro.vm.values import VMType
+
+        bad = ClassFile(name="Bad")
+        bad.add_function(
+            FunctionDef(
+                name="f", param_types=(), ret_type=VMType.INT,
+                local_types=(), code=(Instr(Op.IADD, None),),
+            )
+        )
+        loader = UDFClassLoader("u", SystemClassLoader())
+        with pytest.raises(VerifyError):
+            loader.define_class(bad)
+        with pytest.raises(LinkError):
+            loader.resolve_class("Bad")
+
+    def test_cross_class_call_resolves_through_loader(self):
+        system = SystemClassLoader()
+        system.define_class(compile_source(HELPER, "Lib"))
+        loader = UDFClassLoader("u", system)
+        # A class calling Lib.tw: build the call by hand.
+        from repro.vm.classfile import ClassFile, FunctionDef, PoolEntry
+        from repro.vm.opcodes import Instr, Op
+        from repro.vm.values import VMType
+
+        cls = ClassFile(name="Caller")
+        ref = cls.pool_index(PoolEntry.funcref("Lib", "tw"))
+        cls.add_function(
+            FunctionDef(
+                name="go", param_types=(VMType.INT,),
+                ret_type=VMType.INT, local_types=(VMType.INT,),
+                code=(
+                    Instr(Op.LOAD, 0),
+                    Instr(Op.CALL, ref),
+                    Instr(Op.RET, None),
+                ),
+            )
+        )
+        loader.define_class(cls)
+        from repro.vm.interpreter import ExecutionContext, run_function
+
+        ctx = ExecutionContext(loader.resolve_function)
+        caller = loader.resolve_class("Caller")
+        result = run_function(caller, caller.functions["go"], [21], ctx)
+        assert result == 42
+
+    def test_unresolvable_foreign_call_rejected_eagerly(self):
+        from repro.vm.classfile import ClassFile, FunctionDef, PoolEntry
+        from repro.vm.opcodes import Instr, Op
+        from repro.vm.values import VMType
+
+        cls = ClassFile(name="Caller")
+        ref = cls.pool_index(PoolEntry.funcref("NoSuchClass", "x"))
+        cls.add_function(
+            FunctionDef(
+                name="go", param_types=(), ret_type=VMType.INT,
+                local_types=(),
+                code=(Instr(Op.CALL, ref), Instr(Op.RET, None)),
+            )
+        )
+        loader = UDFClassLoader("u", SystemClassLoader())
+        with pytest.raises(VerifyError, match="cannot resolve"):
+            loader.define_class(cls)
+
+    def test_hostile_bytes_path(self):
+        loader = UDFClassLoader("u", SystemClassLoader())
+        from repro.errors import ClassFormatError
+
+        with pytest.raises(ClassFormatError):
+            loader.define_class(b"JAGCgarbage")
+        # Valid bytes load fine through the same path.
+        data = compile_source(MAIN_A, "Main").to_bytes()
+        cls = loader.define_class(data)
+        assert cls.verified

@@ -1,0 +1,337 @@
+"""JagScript compiler: language features and rejection of bad source."""
+
+import pytest
+
+from repro.errors import CompileError
+from repro.vm import compile_source, run_function, single_class_context, verify_class
+from repro.vm.values import VMType
+
+
+def run(source: str, func: str, *args, callbacks=None, handlers=None):
+    cls = compile_source(source, "Test", callbacks=callbacks)
+    verify_class(cls)
+    ctx = single_class_context(cls, callbacks=handlers)
+    return run_function(cls, cls.functions[func], list(args), ctx)
+
+
+class TestBasics:
+    def test_arithmetic(self):
+        src = "def f(a: int, b: int) -> int:\n    return a * b + a - b"
+        assert run(src, "f", 7, 3) == 25
+
+    def test_float_division_promotes(self):
+        src = "def f(a: int, b: int) -> float:\n    return a / b"
+        assert run(src, "f", 7, 2) == 3.5
+
+    def test_floor_division_stays_int(self):
+        src = "def f(a: int, b: int) -> int:\n    return a // b"
+        assert run(src, "f", 7, 2) == 3
+
+    def test_mixed_int_float(self):
+        src = "def f(a: int, x: float) -> float:\n    return a + x * 2.0"
+        assert run(src, "f", 1, 0.5) == 2.0
+
+    def test_int_op_float_right(self):
+        src = "def f(a: int) -> float:\n    return a * 0.5"
+        assert run(src, "f", 9) == 4.5
+
+    def test_unary_minus(self):
+        src = "def f(a: int) -> int:\n    return -a"
+        assert run(src, "f", 3) == -3
+
+    def test_bitwise(self):
+        src = ("def f(a: int, b: int) -> int:\n"
+               "    return (a & b) | (a ^ b) + (a << 1) - (a >> 1)")
+        assert run(src, "f", 12, 10) == ((12 & 10) | ((12 ^ 10) + (12 << 1) - (12 >> 1)))
+
+    def test_string_concat_and_compare(self):
+        src = ('def f(s: str) -> str:\n'
+               '    if s == "a":\n'
+               '        return s + "!"\n'
+               '    return s')
+        assert run(src, "f", "a") == "a!"
+        assert run(src, "f", "b") == "b"
+
+    def test_string_index_gives_code(self):
+        src = "def f(s: str) -> int:\n    return s[1]"
+        assert run(src, "f", "AB") == ord("B")
+
+    def test_string_slice(self):
+        src = "def f(s: str) -> str:\n    return s[1:3]"
+        assert run(src, "f", "hello") == "el"
+
+    def test_conditional_expression(self):
+        src = "def f(a: int) -> str:\n    return 'pos' if a > 0 else 'neg'"
+        assert run(src, "f", 5) == "pos"
+        assert run(src, "f", -5) == "neg"
+
+    def test_bool_logic_short_circuit(self):
+        # The right operand would trap (division by zero) if evaluated.
+        src = ("def f(a: int) -> bool:\n"
+               "    return a == 0 or 10 // a > 2")
+        assert run(src, "f", 0) is True
+        assert run(src, "f", 3) is True
+        assert run(src, "f", 10) is False
+
+    def test_augmented_assign(self):
+        src = ("def f(n: int) -> int:\n"
+               "    s: int = 0\n"
+               "    for i in range(n):\n"
+               "        s += i\n"
+               "    return s")
+        assert run(src, "f", 10) == 45
+
+    def test_augmented_subscript(self):
+        src = ("def f(data: bytes) -> int:\n"
+               "    data[0] += 5\n"
+               "    return data[0]")
+        assert run(src, "f", bytes([10])) == 15
+
+
+class TestControlFlow:
+    def test_while_with_break_continue(self):
+        src = (
+            "def f(n: int) -> int:\n"
+            "    s: int = 0\n"
+            "    i: int = 0\n"
+            "    while True:\n"
+            "        i = i + 1\n"
+            "        if i > n:\n"
+            "            break\n"
+            "        if i % 2 == 0:\n"
+            "            continue\n"
+            "        s = s + i\n"
+            "    return s"
+        )
+        assert run(src, "f", 10) == 1 + 3 + 5 + 7 + 9
+
+    def test_for_range_variants(self):
+        src = (
+            "def f(a: int, b: int) -> int:\n"
+            "    s: int = 0\n"
+            "    for i in range(a, b):\n"
+            "        s = s + i\n"
+            "    for j in range(3):\n"
+            "        s = s + 100\n"
+            "    for k in range(10, 0, -2):\n"
+            "        s = s + k\n"
+            "    return s"
+        )
+        assert run(src, "f", 2, 5) == (2 + 3 + 4) + 300 + (10 + 8 + 6 + 4 + 2)
+
+    def test_nested_loops(self):
+        src = (
+            "def f(n: int) -> int:\n"
+            "    s: int = 0\n"
+            "    for i in range(n):\n"
+            "        for j in range(i):\n"
+            "            s = s + 1\n"
+            "    return s"
+        )
+        assert run(src, "f", 5) == 10
+
+    def test_early_return_in_loop(self):
+        src = (
+            "def f(data: bytes, needle: int) -> int:\n"
+            "    for i in range(len(data)):\n"
+            "        if data[i] == needle:\n"
+            "            return i\n"
+            "    return -1"
+        )
+        assert run(src, "f", bytes([5, 7, 9]), 7) == 1
+        assert run(src, "f", bytes([5, 7, 9]), 8) == -1
+
+    def test_recursion(self):
+        src = (
+            "def fact(n: int) -> int:\n"
+            "    if n <= 1:\n"
+            "        return 1\n"
+            "    return n * fact(n - 1)"
+        )
+        assert run(src, "fact", 10) == 3628800
+
+    def test_mutual_helpers(self):
+        src = (
+            "def helper(x: int) -> int:\n"
+            "    return x * 2\n"
+            "def f(x: int) -> int:\n"
+            "    return helper(x) + helper(x + 1)"
+        )
+        assert run(src, "f", 5) == 10 + 12
+
+    def test_void_function(self):
+        src = (
+            "def side(data: bytes) -> None:\n"
+            "    data[0] = 9\n"
+            "def f(data: bytes) -> int:\n"
+            "    side(data)\n"
+            "    return data[0]"
+        )
+        assert run(src, "f", bytes([1])) == 9
+
+
+class TestArrays:
+    def test_bytearray_alloc_and_fill(self):
+        src = (
+            "def f(n: int) -> int:\n"
+            "    a: bytes = bytearray(n)\n"
+            "    for i in range(n):\n"
+            "        a[i] = i * 3\n"
+            "    s: int = 0\n"
+            "    for i in range(len(a)):\n"
+            "        s = s + a[i]\n"
+            "    return s"
+        )
+        assert run(src, "f", 10) == sum((i * 3) & 0xFF for i in range(10))
+
+    def test_byte_store_masks_to_255(self):
+        src = (
+            "def f() -> int:\n"
+            "    a: bytes = bytearray(1)\n"
+            "    a[0] = 300\n"
+            "    return a[0]"
+        )
+        assert run(src, "f") == 300 & 0xFF
+
+    def test_float_arrays(self):
+        src = (
+            "def f(h: farr) -> float:\n"
+            "    total: float = 0.0\n"
+            "    for i in range(len(h)):\n"
+            "        total = total + h[i]\n"
+            "    return total / float(len(h))"
+        )
+        assert run(src, "f", [1.0, 2.0, 3.0]) == 2.0
+
+    def test_farr_alloc(self):
+        src = (
+            "def f(n: int) -> float:\n"
+            "    a: farr = farr(n)\n"
+            "    a[0] = 1.5\n"
+            "    return a[0] + a[1]"
+        )
+        assert run(src, "f", 2) == 1.5
+
+    def test_bytearray_copy(self):
+        src = (
+            "def f(a: bytes) -> int:\n"
+            "    b: bytes = bytearray(a)\n"
+            "    b[0] = 99\n"
+            "    return a[0] + b[0]"
+        )
+        assert run(src, "f", bytes([1, 2])) == 100
+
+
+class TestBuiltins:
+    def test_abs_min_max(self):
+        src = (
+            "def f(a: int, x: float) -> float:\n"
+            "    return float(abs(a) + max(a, 3) + min(a, 3)) + abs(x) "
+            "+ fmax(x, 0.5)"
+        )
+        assert run(src, "f", -4, -1.5) == float(4 + 3 + (-4)) + 1.5 + 0.5
+
+    def test_math_natives(self):
+        src = "def f(x: float) -> float:\n    return sqrt(x) + floor(x) + ceil(x)"
+        assert run(src, "f", 2.25) == 1.5 + 2.0 + 3.0
+
+    def test_str_conversion(self):
+        src = "def f(a: int) -> str:\n    return 'n=' + str(a)"
+        assert run(src, "f", 42) == "n=42"
+
+    def test_int_float_conversion(self):
+        src = "def f(x: float) -> int:\n    return int(x) + int(-x)"
+        assert run(src, "f", 2.7) == 0  # 2 + (-2): truncation toward zero
+
+
+class TestCallbacks:
+    def test_callback_compiles_and_runs(self):
+        from repro.vm.values import VMType as T
+
+        sigs = {"cb_get": ((T.INT,), T.INT)}
+        src = "def f(x: int) -> int:\n    return cb_get(x) * 2"
+        cls = compile_source(src, "Test", callbacks=sigs)
+        from repro.vm.verifier import self_resolver, verify_class as vc
+
+        vc(cls, self_resolver(cls, callbacks=sigs))
+        from repro.vm.interpreter import ExecutionContext
+
+        def resolve(cn, fn):
+            return cls, cls.functions[fn]
+
+        ctx = ExecutionContext(
+            resolve,
+            callbacks={"cb_get": lambda x: x + 100},
+            callback_signatures=sigs,
+        )
+        from repro.vm import run_function as rf
+
+        assert rf(cls, cls.functions["f"], [1], ctx) == 202
+
+
+class TestRejections:
+    @pytest.mark.parametrize(
+        "source, fragment",
+        [
+            ("x = 1", "function definitions"),
+            ("def f(a) -> int:\n    return 1", "annotation"),
+            ("def f(a: int):\n    return a", "return type"),
+            ("def f(a: frozenset) -> int:\n    return 1", "unknown type"),
+            ("def f(*args: int) -> int:\n    return 1", "positional"),
+            ("def f(a: int = 3) -> int:\n    return a", "default"),
+            ("def f(a: int) -> int:\n    import os\n    return a", "unsupported statement"),
+            ("def f(a: int) -> int:\n    return unknown(a)", "unknown function"),
+            ("def f(a: int) -> int:\n    return b", "undefined variable"),
+            ("def f(a: int) -> int:\n    a = 'x'\n    return a", "cannot assign"),
+            ("def f(a: int) -> str:\n    return a", "return type"),
+            ("def f(a: int) -> int:\n    if a > 0:\n        return 1",
+             "control may reach the end"),
+            ("def f(a: int) -> int:\n    return a < 1 < 2", "chained"),
+            ("def f(s: str) -> int:\n    return s - s", "only + is defined"),
+            ("def f(a: int) -> int:\n    while a > 0:\n        a = a - 1\n    else:\n        a = 2\n    return a",
+             "while-else"),
+            ("def f(a: int) -> int:\n    for x in [1]:\n        a = a + 1\n    return a",
+             "range"),
+            ("def f(a: int) -> int:\n    break\n    return a", "break outside"),
+            ("def f(a: int) -> int:\n    return 1\n    return 2", "unreachable"),
+            ("def f(a: bool) -> bool:\n    return a == True", "comparing bools"),
+            ("def f() -> int:\n    return len(3)", "len() of int"),
+        ],
+    )
+    def test_rejected(self, source, fragment):
+        with pytest.raises(CompileError) as info:
+            compile_source(source, "Bad")
+        assert fragment.lower() in str(info.value).lower()
+
+    def test_duplicate_function(self):
+        src = "def f() -> int:\n    return 1\ndef f() -> int:\n    return 2"
+        with pytest.raises(CompileError, match="duplicate"):
+            compile_source(src, "Bad")
+
+    def test_syntax_error_reported(self):
+        with pytest.raises(CompileError, match="syntax"):
+            compile_source("def f(:", "Bad")
+
+    def test_no_functions(self):
+        with pytest.raises(CompileError, match="no functions"):
+            compile_source("'just a docstring'", "Bad")
+
+
+class TestCompiledShape:
+    def test_signature_recorded(self):
+        cls = compile_source(
+            "def f(a: int, x: float, s: str, b: bytes, h: farr, "
+            "q: bool) -> float:\n    return x",
+            "Sig",
+        )
+        func = cls.functions["f"]
+        assert func.param_types == (
+            VMType.INT, VMType.FLOAT, VMType.STR, VMType.ARR,
+            VMType.FARR, VMType.BOOL,
+        )
+        assert func.ret_type is VMType.FLOAT
+
+    def test_docstrings_skipped(self):
+        src = '"""module doc"""\ndef f() -> int:\n    "fn doc"\n    return 1'
+        cls = compile_source(src, "Doc")
+        verify_class(cls)

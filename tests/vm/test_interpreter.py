@@ -1,0 +1,216 @@
+"""Interpreter semantics: traps, wrapping, bounds, calls, callbacks."""
+
+import pytest
+
+from repro.errors import (
+    ArithmeticFault,
+    BoundsError,
+    LinkError,
+    SecurityViolation,
+    StackOverflowFault,
+    VMRuntimeError,
+)
+from repro.vm import (
+    compile_source,
+    run_function,
+    single_class_context,
+    verify_class,
+)
+from repro.vm.interpreter import ExecutionContext
+from repro.vm.resources import ResourceAccount
+from repro.vm.values import INT_MAX, INT_MIN
+
+
+def build(source, name="T", callbacks=None):
+    cls = compile_source(source, name, callbacks=callbacks)
+    if callbacks:
+        from repro.vm.verifier import self_resolver
+
+        verify_class(cls, self_resolver(cls, callbacks=callbacks))
+    else:
+        verify_class(cls)
+    return cls
+
+
+def run(source, func, *args, account=None, handlers=None, callbacks=None):
+    cls = build(source, callbacks=callbacks)
+    ctx = single_class_context(
+        cls, account=account, callbacks=handlers,
+        **({"callback_signatures": callbacks} if callbacks else {}),
+    )
+    return run_function(cls, cls.functions[func], list(args), ctx)
+
+
+class TestArithmeticSemantics:
+    def test_division_truncates_toward_zero(self):
+        src = "def f(a: int, b: int) -> int:\n    return a // b"
+        assert run(src, "f", 7, 2) == 3
+        assert run(src, "f", -7, 2) == -3   # Java semantics, not Python's -4
+        assert run(src, "f", 7, -2) == -3
+        assert run(src, "f", -7, -2) == 3
+
+    def test_modulo_sign_follows_dividend(self):
+        src = "def f(a: int, b: int) -> int:\n    return a % b"
+        assert run(src, "f", 7, 3) == 1
+        assert run(src, "f", -7, 3) == -1  # Java semantics, not Python's 2
+        assert run(src, "f", 7, -3) == 1
+
+    def test_division_by_zero_traps(self):
+        src = "def f(a: int) -> int:\n    return 1 // a"
+        with pytest.raises(ArithmeticFault, match="division by zero"):
+            run(src, "f", 0)
+
+    def test_modulo_by_zero_traps(self):
+        src = "def f(a: int) -> int:\n    return 1 % a"
+        with pytest.raises(ArithmeticFault):
+            run(src, "f", 0)
+
+    def test_float_division_by_zero_traps(self):
+        src = "def f(x: float) -> float:\n    return 1.0 / x"
+        with pytest.raises(ArithmeticFault):
+            run(src, "f", 0.0)
+
+    def test_int_overflow_wraps(self):
+        src = "def f(a: int) -> int:\n    return a + 1"
+        assert run(src, "f", INT_MAX) == INT_MIN
+
+    def test_mul_overflow_wraps(self):
+        src = "def f(a: int) -> int:\n    return a * a"
+        assert run(src, "f", 2 ** 32) == 0
+
+    def test_neg_min_wraps(self):
+        src = "def f(a: int) -> int:\n    return -a"
+        assert run(src, "f", INT_MIN) == INT_MIN
+
+    def test_idiv_min_by_minus_one_wraps(self):
+        src = "def f(a: int, b: int) -> int:\n    return a // b"
+        assert run(src, "f", INT_MIN, -1) == INT_MIN
+
+    def test_shift_counts_masked(self):
+        src = "def f(a: int, s: int) -> int:\n    return a << s"
+        assert run(src, "f", 1, 64) == 1  # 64 & 63 == 0
+        assert run(src, "f", 1, 65) == 2
+
+    def test_f2i_traps_on_overflow(self):
+        src = "def f(x: float) -> int:\n    return int(x)"
+        with pytest.raises(ArithmeticFault):
+            run(src, "f", 1e30)
+
+    def test_sqrt_negative_traps(self):
+        src = "def f(x: float) -> float:\n    return sqrt(x)"
+        with pytest.raises(ArithmeticFault):
+            run(src, "f", -1.0)
+
+
+class TestBounds:
+    def test_array_read_out_of_range(self):
+        src = "def f(a: bytes, i: int) -> int:\n    return a[i]"
+        assert run(src, "f", b"abc", 2) == ord("c")
+        with pytest.raises(BoundsError):
+            run(src, "f", b"abc", 3)
+        with pytest.raises(BoundsError):
+            run(src, "f", b"abc", -1)  # no Python negative indexing
+
+    def test_array_write_out_of_range(self):
+        src = "def f(a: bytes, i: int) -> int:\n    a[i] = 1\n    return 0"
+        with pytest.raises(BoundsError):
+            run(src, "f", b"abc", 3)
+
+    def test_string_index_bounds(self):
+        src = "def f(s: str, i: int) -> int:\n    return s[i]"
+        with pytest.raises(BoundsError):
+            run(src, "f", "ab", 5)
+
+    def test_substring_bounds(self):
+        src = "def f(s: str, a: int, b: int) -> str:\n    return s[a:b]"
+        assert run(src, "f", "hello", 1, 3) == "el"
+        with pytest.raises(BoundsError):
+            run(src, "f", "hello", 3, 99)
+        with pytest.raises(BoundsError):
+            run(src, "f", "hello", 3, 1)  # start > end is a trap, not empty
+
+    def test_negative_array_size(self):
+        src = "def f(n: int) -> int:\n    a: bytes = bytearray(n)\n    return len(a)"
+        with pytest.raises(BoundsError):
+            run(src, "f", -1)
+
+    def test_farr_bounds(self):
+        src = "def f(h: farr, i: int) -> float:\n    return h[i]"
+        with pytest.raises(BoundsError):
+            run(src, "f", [1.0], 1)
+
+
+class TestCalls:
+    def test_recursion_depth_limited(self):
+        src = (
+            "def f(n: int) -> int:\n"
+            "    if n <= 0:\n"
+            "        return 0\n"
+            "    return f(n - 1) + 1"
+        )
+        account = ResourceAccount(max_depth=64)
+        with pytest.raises(StackOverflowFault):
+            run(src, "f", 1000, account=account)
+        assert run(src, "f", 30, account=ResourceAccount(max_depth=64)) == 30
+
+    def test_wrong_arity_at_boundary(self):
+        src = "def f(a: int) -> int:\n    return a"
+        cls = build(src)
+        ctx = single_class_context(cls)
+        with pytest.raises(VMRuntimeError, match="expects 1"):
+            run_function(cls, cls.functions["f"], [1, 2], ctx)
+
+    def test_callbacks_flow_values(self):
+        from repro.vm.values import VMType as T
+
+        sigs = {"cb_add": ((T.INT, T.INT), T.INT)}
+        src = "def f(a: int) -> int:\n    return cb_add(a, 10)"
+        result = run(
+            src, "f", 5,
+            callbacks=sigs, handlers={"cb_add": lambda x, y: x + y},
+        )
+        assert result == 15
+
+    def test_callback_missing_handler_is_link_error(self):
+        from repro.vm.values import VMType as T
+
+        sigs = {"cb_gone": ((), T.INT)}
+        src = "def f() -> int:\n    return cb_gone()"
+        with pytest.raises(LinkError):
+            run(src, "f", callbacks=sigs, handlers={})
+
+    def test_callback_result_type_checked(self):
+        from repro.vm.values import VMType as T
+
+        sigs = {"cb_bad": ((), T.INT)}
+        src = "def f() -> int:\n    return cb_bad()"
+        with pytest.raises(VMRuntimeError):
+            run(src, "f", callbacks=sigs, handlers={"cb_bad": lambda: "oops"})
+
+    def test_callback_requires_permission_via_manager(self):
+        from repro.vm.security import Permissions, SecurityManager
+        from repro.vm.values import VMType as T
+
+        sigs = {"cb_x": ((), T.INT)}
+        cls = build("def f() -> int:\n    return cb_x()", callbacks=sigs)
+        ctx = single_class_context(
+            cls,
+            callbacks={"cb_x": lambda: 1},
+            security=SecurityManager("T", Permissions.none()),
+            callback_signatures=sigs,
+        )
+        with pytest.raises(SecurityViolation):
+            run_function(cls, cls.functions["f"], [], ctx)
+
+
+class TestMutation:
+    def test_caller_bytearray_mutated_in_place(self):
+        src = "def f(a: bytes) -> int:\n    a[0] = 42\n    return a[0]"
+        buffer = bytearray(b"\x00\x01")
+        assert run(src, "f", buffer) == 42
+        assert buffer[0] == 42  # bytearray is the VM's native representation
+
+    def test_bytes_argument_copied(self):
+        src = "def f(a: bytes) -> int:\n    a[0] = 42\n    return a[0]"
+        frozen = b"\x00\x01"
+        assert run(src, "f", frozen) == 42  # original untouched (immutable)

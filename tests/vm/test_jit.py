@@ -1,0 +1,276 @@
+"""JIT correctness: bit-identical behaviour with the interpreter.
+
+The JIT must preserve every safety property and every semantic detail —
+wrapping arithmetic, trap conditions, bounds checks, fuel accounting.
+These tests run the same programs both ways and require agreement,
+including via hypothesis-generated inputs.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import (
+    ArithmeticFault,
+    BoundsError,
+    FuelExhausted,
+    VMError,
+)
+from repro.vm import compile_source, run_function, single_class_context, verify_class
+from repro.vm.jit import JitCompiler, invoke_jit
+from repro.vm.resources import ResourceAccount
+
+CORPUS = '''
+def arith(a: int, b: int) -> int:
+    return (a + b) * (a - b) + a // (b + 1000000) + (a % 97) + (a ^ b) + (a & b) + (a | b)
+
+def shifty(a: int, s: int) -> int:
+    return (a << s) + (a >> s)
+
+def floaty(x: float, y: float) -> float:
+    return (x + y) * (x - y) / (y * y + 1.0) + fmax(x, y) - fmin(x, y)
+
+def mixed(a: int, x: float) -> float:
+    return a * x + a / (x * x + 1.0) + float(a) - x
+
+def loopy(n: int) -> int:
+    s: int = 0
+    for i in range(n):
+        if i % 3 == 0:
+            s = s + i
+        elif i % 3 == 1:
+            s = s - i
+        else:
+            s = s * 2
+    return s
+
+def scan(data: bytes, passes: int) -> int:
+    s: int = 0
+    for p in range(passes):
+        for i in range(len(data)):
+            s = s + data[i]
+    return s
+
+def build(n: int) -> int:
+    a: bytes = bytearray(n)
+    for i in range(n):
+        a[i] = i * 7
+    s: int = 0
+    for i in range(len(a)):
+        s = s + a[i]
+    return s
+
+def stringy(s: str, t: str) -> str:
+    u: str = s + ":" + t
+    if s == t:
+        u = u + "=eq"
+    return u + str(len(u))
+
+def deep(n: int) -> int:
+    if n <= 1:
+        return 1
+    return deep(n - 1) + deep(n - 2)
+
+def whilst(a: int) -> int:
+    count: int = 0
+    while a != 1:
+        if a % 2 == 0:
+            a = a // 2
+        else:
+            a = 3 * a + 1
+        count = count + 1
+        if count > 200:
+            break
+    return count
+
+def boolsy(a: int, b: int) -> bool:
+    return (a > 0 and b > 0) or (a < 0 and b < 0) or not (a != b)
+
+def ternary(a: int) -> int:
+    return (a * 2 if a > 10 else a + 100) - (1 if a % 2 == 0 else 2)
+
+def floats_sum(h: farr) -> float:
+    total: float = 0.0
+    for i in range(len(h)):
+        total = total + h[i]
+    return total
+'''
+
+
+@pytest.fixture(scope="module")
+def corpus_class():
+    cls = compile_source(CORPUS, "Corpus")
+    verify_class(cls)
+    return cls
+
+
+def both_ways(cls, func_name, args):
+    """Run both ways; return (interp outcome, jit outcome) where an
+    outcome is ('ok', value) or ('err', exception type)."""
+
+    def attempt(runner):
+        ctx = single_class_context(cls)
+        try:
+            return ("ok", runner(cls, cls.functions[func_name], list(args), ctx))
+        except VMError as exc:
+            return ("err", type(exc))
+
+    return attempt(run_function), attempt(invoke_jit)
+
+
+CASES = [
+    ("arith", (3, 4)),
+    ("arith", (2 ** 62, -(2 ** 61))),
+    ("arith", (-1, -1)),
+    ("shifty", (123456789, 5)),
+    ("shifty", (-9, 63)),
+    ("floaty", (1.5, -2.25)),
+    ("mixed", (7, 0.5)),
+    ("loopy", (0,)),
+    ("loopy", (100,)),
+    ("scan", (bytes(range(50)), 3)),
+    ("scan", (b"", 10)),
+    ("build", (64,)),
+    ("stringy", ("ab", "ab")),
+    ("stringy", ("x", "y")),
+    ("deep", (12,)),
+    ("whilst", (27,)),
+    ("boolsy", (1, 2)),
+    ("boolsy", (-1, -2)),
+    ("boolsy", (0, 0)),
+    ("ternary", (4,)),
+    ("ternary", (15,)),
+    ("floats_sum", ([0.5, 1.5, -2.0],)),
+]
+
+
+@pytest.mark.parametrize("func_name, args", CASES)
+def test_corpus_parity(corpus_class, func_name, args):
+    interp, jit = both_ways(corpus_class, func_name, args)
+    assert interp == jit
+    assert interp[0] == "ok"
+
+
+@settings(max_examples=120, deadline=None)
+@given(a=st.integers(min_value=-(2 ** 63), max_value=2 ** 63 - 1),
+       b=st.integers(min_value=-(2 ** 63), max_value=2 ** 63 - 1))
+def test_arith_parity_hypothesis(corpus_class, a, b):
+    interp, jit = both_ways(corpus_class, "arith", (a, b))
+    assert interp == jit
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=st.binary(max_size=64),
+       passes=st.integers(min_value=0, max_value=4))
+def test_scan_parity_hypothesis(corpus_class, data, passes):
+    interp, jit = both_ways(corpus_class, "scan", (data, passes))
+    assert interp == jit
+
+
+@settings(max_examples=60, deadline=None)
+@given(a=st.integers(min_value=1, max_value=10 ** 6))
+def test_collatz_parity_hypothesis(corpus_class, a):
+    interp, jit = both_ways(corpus_class, "whilst", (a,))
+    assert interp == jit
+
+
+class TestTrapParity:
+    def run_both(self, source, func, args):
+        cls = compile_source(source, "Trap")
+        verify_class(cls)
+        return both_ways(cls, func, args)
+
+    def test_division_by_zero(self):
+        interp, jit = self.run_both(
+            "def f(a: int) -> int:\n    return 10 // a", "f", (0,)
+        )
+        assert interp == jit == ("err", ArithmeticFault)
+
+    def test_bounds(self):
+        interp, jit = self.run_both(
+            "def f(a: bytes, i: int) -> int:\n    return a[i]", "f",
+            (b"ab", 9),
+        )
+        assert interp == jit == ("err", BoundsError)
+
+    def test_negative_index(self):
+        interp, jit = self.run_both(
+            "def f(a: bytes, i: int) -> int:\n    return a[i]", "f",
+            (b"ab", -1),
+        )
+        assert interp == jit == ("err", BoundsError)
+
+    def test_f2i_overflow(self):
+        interp, jit = self.run_both(
+            "def f(x: float) -> int:\n    return int(x)", "f", (1e40,)
+        )
+        assert interp == jit == ("err", ArithmeticFault)
+
+
+class TestFuel:
+    def test_jit_charges_fuel(self):
+        src = (
+            "def f(n: int) -> int:\n"
+            "    s: int = 0\n"
+            "    for i in range(n):\n"
+            "        s = s + 1\n"
+            "    return s"
+        )
+        cls = compile_source(src, "Fuel")
+        verify_class(cls)
+        rich = single_class_context(cls)
+        rich.account = ResourceAccount(fuel=10 ** 9)
+        assert invoke_jit(cls, cls.functions["f"], [1000], rich) == 1000
+        used = rich.account.fuel_used
+        assert used > 1000  # at least one unit per loop iteration
+
+        poor = single_class_context(cls)
+        poor.account = ResourceAccount(fuel=200)
+        with pytest.raises(FuelExhausted):
+            invoke_jit(cls, cls.functions["f"], [10 ** 6], poor)
+
+    def test_infinite_loop_dies_promptly(self):
+        src = (
+            "def f() -> int:\n"
+            "    while True:\n"
+            "        pass\n"
+        )
+        # `while True: pass` never returns, so the function never needs
+        # a return statement; the verifier accepts the terminal loop.
+        # Fuel must kill it.
+        cls = compile_source(src, "Loop")
+        verify_class(cls)
+        ctx = single_class_context(cls)
+        ctx.account = ResourceAccount(fuel=10_000)
+        with pytest.raises(FuelExhausted):
+            invoke_jit(cls, cls.functions["f"], [], ctx)
+
+    def test_memory_quota_enforced_by_jit(self):
+        src = (
+            "def f(n: int) -> int:\n"
+            "    total: int = 0\n"
+            "    for i in range(n):\n"
+            "        a: bytes = bytearray(1000000)\n"
+            "        total = total + len(a)\n"
+            "    return total"
+        )
+        cls = compile_source(src, "Mem")
+        verify_class(cls)
+        from repro.errors import MemoryQuotaExceeded
+
+        ctx = single_class_context(cls)
+        ctx.account = ResourceAccount(memory=3_000_000)
+        with pytest.raises(MemoryQuotaExceeded):
+            invoke_jit(cls, cls.functions["f"], [100], ctx)
+
+
+class TestJitCache:
+    def test_compiled_once(self):
+        src = "def f(a: int) -> int:\n    return a + 1"
+        cls = compile_source(src, "Cache")
+        verify_class(cls)
+        compiler = JitCompiler(lambda name: cls)
+        ctx = single_class_context(cls)
+        first = compiler.get(cls, cls.functions["f"], ctx)
+        second = compiler.get(cls, cls.functions["f"], ctx)
+        assert first is second

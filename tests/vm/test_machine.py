@@ -1,0 +1,103 @@
+"""JaguarVM facade: load/unload, quotas, JIT toggle, callback wiring."""
+
+import pytest
+
+from repro.errors import FuelExhausted, LinkError, SecurityViolation
+from repro.vm import JaguarVM, Permissions, compile_source
+from repro.vm.values import VMType
+
+ADDER = "def add(a: int, b: int) -> int:\n    return a + b"
+SPIN = "def spin() -> int:\n    while True:\n        pass\n"
+
+CB_SIGS = {"cb_probe": ((), VMType.INT)}
+
+
+@pytest.fixture
+def vm():
+    return JaguarVM(callback_signatures=CB_SIGS)
+
+
+class TestLoadInvoke:
+    def test_basic(self, vm):
+        udf = vm.load_udf("adder", [compile_source(ADDER, "A")])
+        assert udf.invoke("add", [2, 3]) == 5
+
+    def test_from_bytes(self, vm):
+        data = compile_source(ADDER, "A").to_bytes()
+        udf = vm.load_udf("adder", [data])
+        assert udf.invoke("add", [2, 3]) == 5
+
+    def test_duplicate_name_rejected(self, vm):
+        vm.load_udf("adder", [compile_source(ADDER, "A")])
+        with pytest.raises(LinkError, match="already loaded"):
+            vm.load_udf("adder", [compile_source(ADDER, "A")])
+
+    def test_unload_frees_name(self, vm):
+        vm.load_udf("adder", [compile_source(ADDER, "A")])
+        vm.unload_udf("adder")
+        vm.load_udf("adder", [compile_source(ADDER, "A")])
+
+    def test_unknown_entry(self, vm):
+        udf = vm.load_udf("adder", [compile_source(ADDER, "A")])
+        with pytest.raises(LinkError, match="no function"):
+            udf.invoke("missing", [])
+
+    def test_no_classfiles_rejected(self, vm):
+        with pytest.raises(LinkError):
+            vm.load_udf("empty", [])
+
+    def test_main_class_selection(self, vm):
+        lib = compile_source("def one() -> int:\n    return 1", "Lib")
+        app = compile_source(ADDER, "App")
+        udf = vm.load_udf("multi", [lib, app], main_class="Lib")
+        assert udf.invoke("one", []) == 1
+
+
+class TestQuotasAndJit:
+    def test_per_udf_fuel_quota(self, vm):
+        udf = vm.load_udf("spin", [compile_source(SPIN, "S")], fuel=50_000)
+        with pytest.raises(FuelExhausted):
+            udf.invoke("spin", [])
+
+    def test_interp_and_jit_agree(self):
+        vm_jit = JaguarVM(CB_SIGS, use_jit=True)
+        vm_interp = JaguarVM(CB_SIGS, use_jit=False)
+        loaded_jit = vm_jit.load_udf("a", [compile_source(ADDER, "A")])
+        loaded_interp = vm_interp.load_udf("a", [compile_source(ADDER, "A")])
+        assert loaded_jit.invoke("add", [2, 3]) == loaded_interp.invoke("add", [2, 3])
+
+    def test_context_reuse_across_invocations(self, vm):
+        udf = vm.load_udf("adder", [compile_source(ADDER, "A")])
+        ctx = udf.make_context()
+        for index in range(10):
+            assert udf.invoke("add", [index, 1], context=ctx) == index + 1
+
+
+class TestCallbackPermissions:
+    def test_callback_denied_without_grant(self, vm):
+        src = "def f() -> int:\n    return cb_probe()"
+        udf = vm.load_udf(
+            "probe", [compile_source(src, "P", callbacks=CB_SIGS)],
+            callbacks={"cb_probe": lambda: 7},
+        )
+        with pytest.raises(SecurityViolation):
+            udf.invoke("f", [])
+
+    def test_callback_allowed_with_grant(self, vm):
+        src = "def f() -> int:\n    return cb_probe()"
+        udf = vm.load_udf(
+            "probe", [compile_source(src, "P", callbacks=CB_SIGS)],
+            permissions=Permissions.with_callbacks("cb_probe"),
+            callbacks={"cb_probe": lambda: 7},
+        )
+        assert udf.invoke("f", []) == 7
+
+    def test_per_invocation_callback_override(self, vm):
+        src = "def f() -> int:\n    return cb_probe()"
+        udf = vm.load_udf(
+            "probe", [compile_source(src, "P", callbacks=CB_SIGS)],
+            permissions=Permissions.with_callbacks("cb_probe"),
+            callbacks={"cb_probe": lambda: 1},
+        )
+        assert udf.invoke("f", []) == 1
+        assert udf.invoke("f", [], callbacks={"cb_probe": lambda: 2}) == 2

@@ -1,0 +1,113 @@
+"""Resource accounts: the Section 6.2 quotas the 1998 JVM lacked."""
+
+import pytest
+
+from repro.errors import (
+    FuelExhausted,
+    MemoryQuotaExceeded,
+    StackOverflowFault,
+)
+from repro.vm.resources import ResourceAccount, unmetered_account
+
+
+class TestFuel:
+    def test_charges_and_exhausts(self):
+        account = ResourceAccount(fuel=100)
+        account.charge_fuel(60)
+        account.charge_fuel(40)
+        assert account.fuel == 0
+        with pytest.raises(FuelExhausted):
+            account.charge_fuel(1)
+
+    def test_fuel_used_reporting(self):
+        account = ResourceAccount(fuel=100)
+        account.charge_fuel(30)
+        assert account.fuel_used == 30
+
+    def test_hot_path_protocol(self):
+        # The interpreter decrements the attribute directly.
+        account = ResourceAccount(fuel=2)
+        account.fuel -= 1
+        assert account.fuel >= 0
+        account.fuel -= 2
+        assert account.fuel < 0
+        with pytest.raises(FuelExhausted):
+            account.out_of_fuel()
+
+
+class TestMemory:
+    def test_charge_and_exhaust(self):
+        account = ResourceAccount(memory=1000)
+        account.charge_memory(600)
+        with pytest.raises(MemoryQuotaExceeded):
+            account.charge_memory(500)
+
+    def test_release_capped_at_limit(self):
+        account = ResourceAccount(memory=1000)
+        account.charge_memory(100)
+        account.release_memory(5000)
+        assert account.memory == 1000
+
+    def test_negative_allocation_rejected(self):
+        account = ResourceAccount()
+        with pytest.raises(MemoryQuotaExceeded):
+            account.charge_memory(-1)
+
+
+class TestDepth:
+    def test_enter_exit(self):
+        account = ResourceAccount(max_depth=2)
+        account.enter_call()
+        account.enter_call()
+        with pytest.raises(StackOverflowFault):
+            account.enter_call()
+        account.exit_call()
+        account.exit_call()
+        account.exit_call()
+        account.enter_call()  # recovered
+
+
+class TestRevocationAndReset:
+    def test_revoke_kills_at_next_check(self):
+        account = ResourceAccount(fuel=10 ** 9)
+        account.revoke()
+        with pytest.raises(FuelExhausted, match="revoked"):
+            account.charge_fuel(1)
+
+    def test_reset_refills(self):
+        account = ResourceAccount(fuel=100, memory=100)
+        account.charge_fuel(70)
+        account.charge_memory(70)
+        account.reset()
+        assert account.fuel == 100
+        assert account.memory == 100
+
+    def test_reset_does_not_unrevoke(self):
+        account = ResourceAccount(fuel=100)
+        account.revoke()
+        account.reset()
+        with pytest.raises(FuelExhausted):
+            account.charge_fuel(1)
+
+    def test_snapshot(self):
+        account = ResourceAccount(fuel=100, memory=200, max_depth=5)
+        account.charge_fuel(10)
+        account.charge_memory(20)
+        snap = account.snapshot()
+        assert snap["fuel_used"] == 10
+        assert snap["memory_used"] == 20
+        assert snap["revoked"] is False
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"fuel": 0}, {"fuel": -1}, {"memory": 0}, {"max_depth": 0},
+    ])
+    def test_bad_quotas_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ResourceAccount(**kwargs)
+
+    def test_unmetered_is_huge(self):
+        account = unmetered_account()
+        account.charge_fuel(10 ** 12)
+        account.charge_memory(10 ** 12)

@@ -1,0 +1,90 @@
+"""The sandbox safety property, as a property-based test.
+
+The core claim of the verify-then-trust architecture: **no classfile —
+however constructed — can make the VM misbehave**.  Either the decoder
+rejects it, the verifier rejects it, or it runs and any fault it raises
+is a :class:`~repro.errors.VMError` confined to the sandbox.  Nothing
+else (no host exceptions, no corruption) may escape.
+
+Hypothesis attacks the pipeline with mutated real classfiles; mutations
+that survive decode + verify are then *executed* under a small fuel
+budget.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ClassFormatError, VerifyError, VMError
+from repro.vm import compile_source, run_function, single_class_context
+from repro.vm.classfile import ClassFile
+from repro.vm.jit import invoke_jit
+from repro.vm.resources import ResourceAccount
+from repro.vm.verifier import verify_class
+
+SOURCE = '''
+def helper(a: int) -> int:
+    return a * 3 - 1
+
+def entry(data: bytes, n: int) -> int:
+    s: int = 0
+    for i in range(n):
+        s = helper(s) + i
+    for i in range(len(data)):
+        s = s + data[i]
+    if s > 1000:
+        return s % 1000
+    return s
+'''
+
+_BASE = compile_source(SOURCE, "Victim").to_bytes()
+
+ARGS = (b"\x01\x02\x03", 5)
+
+
+def exercise(data: bytes) -> None:
+    """Decode -> verify -> execute; only sandbox errors may surface."""
+    try:
+        cls = ClassFile.from_bytes(data)
+    except ClassFormatError:
+        return
+    try:
+        verify_class(cls)
+    except (VerifyError, ClassFormatError):
+        # ClassFormatError can surface from pool-kind checks at link time.
+        return
+    for runner in (run_function, invoke_jit):
+        func = cls.functions.get("entry")
+        if func is None or len(func.param_types) != 2:
+            continue
+        ctx = single_class_context(cls)
+        ctx.account = ResourceAccount(fuel=50_000, memory=1 << 20)
+        try:
+            runner(cls, func, list(ARGS), ctx)
+        except VMError:
+            pass  # confined fault: allowed
+
+
+@settings(max_examples=300, deadline=None)
+@given(
+    position=st.integers(min_value=0, max_value=len(_BASE) - 1),
+    junk=st.binary(min_size=1, max_size=6),
+)
+def test_byte_mutations_cannot_escape_sandbox(position, junk):
+    mutated = bytearray(_BASE)
+    mutated[position:position + len(junk)] = junk
+    exercise(bytes(mutated))
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.binary(min_size=0, max_size=300))
+def test_random_blobs_cannot_escape_sandbox(data):
+    exercise(data)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    cut=st.integers(min_value=0, max_value=len(_BASE)),
+    extra=st.binary(max_size=20),
+)
+def test_truncation_with_padding_cannot_escape_sandbox(cut, extra):
+    exercise(_BASE[:cut] + extra)

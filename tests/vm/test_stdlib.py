@@ -1,0 +1,94 @@
+"""Trusted stdlib natives: totality (checked math) and signatures."""
+
+import math
+
+import pytest
+
+from repro.errors import ArithmeticFault
+from repro.vm.stdlib import NATIVE_IMPLS, NATIVE_SIGNATURES
+from repro.vm.values import INT_MAX, INT_MIN, VMType
+
+
+class TestSignatureTableConsistency:
+    def test_every_native_has_both_entries(self):
+        assert set(NATIVE_SIGNATURES) == set(NATIVE_IMPLS)
+
+    def test_signatures_use_vm_types(self):
+        for name, (params, ret) in NATIVE_SIGNATURES.items():
+            for t in (*params, ret):
+                assert isinstance(t, VMType), name
+
+
+class TestCheckedMath:
+    def test_sqrt(self):
+        assert NATIVE_IMPLS["sqrt"](4.0) == 2.0
+        with pytest.raises(ArithmeticFault):
+            NATIVE_IMPLS["sqrt"](-1.0)
+
+    def test_log(self):
+        assert NATIVE_IMPLS["log"](math.e) == pytest.approx(1.0)
+        with pytest.raises(ArithmeticFault):
+            NATIVE_IMPLS["log"](0.0)
+        with pytest.raises(ArithmeticFault):
+            NATIVE_IMPLS["log"](-2.0)
+
+    def test_exp_overflow_trapped(self):
+        with pytest.raises(ArithmeticFault):
+            NATIVE_IMPLS["exp"](1e9)
+        assert NATIVE_IMPLS["exp"](0.0) == 1.0
+
+    def test_pow_domain_trapped(self):
+        assert NATIVE_IMPLS["pow"](2.0, 10.0) == 1024.0
+        with pytest.raises(ArithmeticFault):
+            NATIVE_IMPLS["pow"](-1.0, 0.5)
+        with pytest.raises(ArithmeticFault):
+            NATIVE_IMPLS["pow"](1e300, 10.0)
+
+    def test_chr_range_trapped(self):
+        assert NATIVE_IMPLS["chr"](65) == "A"
+        with pytest.raises(ArithmeticFault):
+            NATIVE_IMPLS["chr"](-1)
+        with pytest.raises(ArithmeticFault):
+            NATIVE_IMPLS["chr"](2 ** 32)
+
+
+class TestIntNatives:
+    def test_iabs_wraps_at_min(self):
+        # abs(INT_MIN) overflows 64 bits; Java wraps, so do we.
+        assert NATIVE_IMPLS["iabs"](INT_MIN) == INT_MIN
+        assert NATIVE_IMPLS["iabs"](-5) == 5
+
+    def test_min_max(self):
+        assert NATIVE_IMPLS["imin"](3, -2) == -2
+        assert NATIVE_IMPLS["imax"](3, -2) == 3
+        assert NATIVE_IMPLS["fmin"](1.5, 2.5) == 1.5
+        assert NATIVE_IMPLS["fmax"](1.5, 2.5) == 2.5
+
+    def test_round_returns_int(self):
+        assert NATIVE_IMPLS["round"](2.5) == 2  # banker's rounding
+        assert NATIVE_IMPLS["round"](2.51) == 3
+        assert isinstance(NATIVE_IMPLS["round"](2.5), int)
+
+    def test_floor_ceil_return_float(self):
+        assert NATIVE_IMPLS["floor"](2.7) == 2.0
+        assert NATIVE_IMPLS["ceil"](2.1) == 3.0
+        assert isinstance(NATIVE_IMPLS["floor"](2.7), float)
+
+
+class TestNativesFromJagScript:
+    def test_trap_propagates_as_vm_error(self):
+        from repro.errors import VMError
+        from repro.vm import (
+            compile_source,
+            run_function,
+            single_class_context,
+            verify_class,
+        )
+
+        cls = compile_source(
+            "def f(x: float) -> float:\n    return sqrt(x)", "N"
+        )
+        verify_class(cls)
+        ctx = single_class_context(cls)
+        with pytest.raises(VMError):
+            run_function(cls, cls.functions["f"], [-4.0], ctx)

@@ -1,0 +1,93 @@
+"""Thread groups: killing one UDF's group leaves others untouched."""
+
+import time
+
+import pytest
+
+from repro.errors import FuelExhausted, SecurityViolation
+from repro.vm import compile_source, run_function, single_class_context, verify_class
+from repro.vm.resources import ResourceAccount
+from repro.vm.threadgroups import ThreadGroup, ThreadGroupRegistry
+
+SPIN = (
+    "def spin() -> int:\n"
+    "    while True:\n"
+    "        pass\n"
+)
+
+QUICK = "def quick(n: int) -> int:\n    return n * 2"
+
+
+def make_runner(source, func, args, account):
+    cls = compile_source(source, "TG")
+    verify_class(cls)
+
+    def runner():
+        ctx = single_class_context(cls, account=account)
+        return run_function(cls, cls.functions[func], args, ctx)
+
+    return runner
+
+
+class TestGroups:
+    def test_kill_revokes_running_udf(self):
+        group = ThreadGroup("spinner")
+        account = group.adopt_account(ResourceAccount(fuel=2 ** 50))
+        thread = group.spawn(make_runner(SPIN, "spin", [], account))
+        time.sleep(0.05)
+        assert thread.is_alive()
+        group.kill()
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+        assert isinstance(thread.udf_error, FuelExhausted)
+
+    def test_kill_does_not_affect_other_group(self):
+        group_a = ThreadGroup("a")
+        group_b = ThreadGroup("b")
+        account_a = group_a.adopt_account(ResourceAccount(fuel=2 ** 50))
+        account_b = group_b.adopt_account(ResourceAccount(fuel=2 ** 50))
+        thread_a = group_a.spawn(make_runner(SPIN, "spin", [], account_a))
+        thread_b = group_b.spawn(make_runner(SPIN, "spin", [], account_b))
+        time.sleep(0.05)
+        group_a.kill()
+        thread_a.join(timeout=5.0)
+        assert not thread_a.is_alive()
+        assert thread_b.is_alive()  # B keeps running
+        group_b.kill()
+        thread_b.join(timeout=5.0)
+
+    def test_killed_group_rejects_new_threads(self):
+        group = ThreadGroup("dead")
+        group.kill()
+        with pytest.raises(SecurityViolation):
+            group.spawn(lambda: None)
+
+    def test_account_adopted_after_kill_is_born_revoked(self):
+        group = ThreadGroup("dead")
+        group.kill()
+        account = group.adopt_account(ResourceAccount(fuel=100))
+        with pytest.raises(FuelExhausted):
+            account.charge_fuel(1)
+
+    def test_successful_result_captured(self):
+        group = ThreadGroup("ok")
+        account = group.adopt_account(ResourceAccount())
+        thread = group.spawn(make_runner(QUICK, "quick", [21], account))
+        thread.join(timeout=5.0)
+        assert thread.udf_error is None
+        assert thread.udf_result == 42
+
+
+class TestRegistry:
+    def test_group_per_udf(self):
+        registry = ThreadGroupRegistry()
+        assert registry.group_for("a") is registry.group_for("a")
+        assert registry.group_for("a") is not registry.group_for("b")
+
+    def test_registry_kill(self):
+        registry = ThreadGroupRegistry()
+        group = registry.group_for("x")
+        registry.kill("x")
+        assert group.killed
+        # A new group takes the name afterwards.
+        assert registry.group_for("x") is not group

@@ -1,0 +1,137 @@
+"""VM value model: wrapping, classification, marshalling."""
+
+from array import array
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import VMRuntimeError
+from repro.vm.values import (
+    INT_MAX,
+    INT_MIN,
+    VMType,
+    coerce_argument,
+    default_value,
+    host_type_of,
+    type_by_name,
+    wrap_int,
+)
+
+
+class TestWrapInt:
+    def test_identity_in_range(self):
+        assert wrap_int(0) == 0
+        assert wrap_int(42) == 42
+        assert wrap_int(-42) == -42
+        assert wrap_int(INT_MAX) == INT_MAX
+        assert wrap_int(INT_MIN) == INT_MIN
+
+    def test_positive_overflow_wraps_negative(self):
+        assert wrap_int(INT_MAX + 1) == INT_MIN
+
+    def test_negative_overflow_wraps_positive(self):
+        assert wrap_int(INT_MIN - 1) == INT_MAX
+
+    def test_large_multiple_wraps(self):
+        assert wrap_int(2 ** 64) == 0
+        assert wrap_int(2 ** 64 + 5) == 5
+
+    @given(st.integers(min_value=-(2 ** 200), max_value=2 ** 200))
+    def test_always_in_range(self, value):
+        wrapped = wrap_int(value)
+        assert INT_MIN <= wrapped <= INT_MAX
+
+    @given(st.integers(min_value=INT_MIN, max_value=INT_MAX))
+    def test_fixpoint_in_range(self, value):
+        assert wrap_int(value) == value
+
+    @given(st.integers(), st.integers())
+    def test_addition_homomorphism(self, a, b):
+        assert wrap_int(wrap_int(a) + wrap_int(b)) == wrap_int(a + b)
+
+
+class TestHostTypeOf:
+    def test_bool_before_int(self):
+        assert host_type_of(True) is VMType.BOOL
+        assert host_type_of(1) is VMType.INT
+
+    def test_all_types(self):
+        assert host_type_of(1.5) is VMType.FLOAT
+        assert host_type_of("x") is VMType.STR
+        assert host_type_of(bytearray(b"ab")) is VMType.ARR
+        assert host_type_of(b"ab") is VMType.ARR
+        assert host_type_of(array("d", [1.0])) is VMType.FARR
+
+    def test_unknown_raises(self):
+        with pytest.raises(VMRuntimeError):
+            host_type_of(object())
+
+
+class TestCoerce:
+    def test_int_strict(self):
+        assert coerce_argument(5, VMType.INT) == 5
+        with pytest.raises(VMRuntimeError):
+            coerce_argument(1.5, VMType.INT)
+        with pytest.raises(VMRuntimeError):
+            coerce_argument(True, VMType.INT)
+
+    def test_int_wraps(self):
+        assert coerce_argument(2 ** 63, VMType.INT) == INT_MIN
+
+    def test_float_accepts_int(self):
+        assert coerce_argument(3, VMType.FLOAT) == 3.0
+        assert isinstance(coerce_argument(3, VMType.FLOAT), float)
+
+    def test_bytes_copied_not_aliased(self):
+        source = bytearray(b"abc")
+        result = coerce_argument(bytes(source), VMType.ARR)
+        assert isinstance(result, bytearray)
+        result[0] = ord("z")
+        assert source == b"abc"
+
+    def test_bytearray_passed_through(self):
+        source = bytearray(b"abc")
+        assert coerce_argument(source, VMType.ARR) is source
+
+    def test_farr_from_list(self):
+        result = coerce_argument([1, 2.5], VMType.FARR)
+        assert isinstance(result, array)
+        assert list(result) == [1.0, 2.5]
+
+    def test_mismatches(self):
+        with pytest.raises(VMRuntimeError):
+            coerce_argument("x", VMType.ARR)
+        with pytest.raises(VMRuntimeError):
+            coerce_argument(1, VMType.BOOL)
+        with pytest.raises(VMRuntimeError):
+            coerce_argument(b"x", VMType.STR)
+
+
+class TestDefaults:
+    @pytest.mark.parametrize(
+        "vm_type, expected",
+        [
+            (VMType.INT, 0),
+            (VMType.FLOAT, 0.0),
+            (VMType.BOOL, False),
+            (VMType.STR, ""),
+        ],
+    )
+    def test_scalar_defaults(self, vm_type, expected):
+        assert default_value(vm_type) == expected
+
+    def test_array_defaults_fresh(self):
+        assert default_value(VMType.ARR) == bytearray()
+        assert len(default_value(VMType.FARR)) == 0
+
+    def test_void_has_no_default(self):
+        with pytest.raises(ValueError):
+            default_value(VMType.VOID)
+
+
+def test_type_by_name_roundtrip():
+    for vm_type in VMType:
+        assert type_by_name(vm_type.value) is vm_type
+    with pytest.raises(ValueError):
+        type_by_name("quux")

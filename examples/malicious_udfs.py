@@ -61,18 +61,17 @@ def main() -> None:
         print(f"  stopped: {exc}")
 
     attack("unauthorized data access (callback without permission)")
-    db.execute(
-        "CREATE FUNCTION snoop(int) RETURNS int LANGUAGE JAGUAR "
-        "DESIGN SANDBOX AS "   # note: no CALLBACKS grant
-        "'def snoop(x: int) -> int:\n    return cb_lob_length(x)\n'"
-    )
+    # The static analyzer sees the CALLBACK instruction in the verified
+    # bytecode, so the security manager rejects the registration itself:
+    # the snoop never reaches the catalog, let alone a query.
     try:
-        db.execute("SELECT snoop(id) FROM victims")
+        db.execute(
+            "CREATE FUNCTION snoop(int) RETURNS int LANGUAGE JAGUAR "
+            "DESIGN SANDBOX AS "   # note: no CALLBACKS grant
+            "'def snoop(x: int) -> int:\n    return cb_lob_length(x)\n'"
+        )
     except SecurityViolation as exc:
-        print(f"  stopped: {exc}")
-    udf = db.vm.get_udf("snoop")
-    for record in udf.security.denials():
-        print(f"  audit trail: {record.class_name} denied {record.target!r}")
+        print(f"  stopped at CREATE FUNCTION: {exc}")
 
     attack("forged bytecode (type confusion via hand-built classfile)")
     from repro.vm.classfile import ClassFile, FunctionDef

@@ -1,0 +1,47 @@
+"""Load-time static analysis over verified JaguarVM bytecode.
+
+The verifier proves type and stack safety; this package answers the
+*semantic* questions the rest of the system wants answered before a UDF
+ever runs:
+
+* :mod:`~repro.analysis.cfg` — basic blocks, dominators, natural loops;
+* :mod:`~repro.analysis.effects` — purity/effect summaries (natives,
+  callbacks, allocation, termination) closed over the call graph;
+* :mod:`~repro.analysis.costs` — static per-invocation cost estimation
+  and :func:`~repro.analysis.costs.derive_cost_hints` for UDFs
+  registered without declared ``CostHints``;
+* :mod:`~repro.analysis.lint` — the ``python -m repro.analysis`` CLI.
+
+The class loader invokes :func:`analyze_class` right after verification,
+so every loaded ``FunctionDef`` carries a ``summary`` and every
+``ClassFile`` an ``analysis`` rollup.  Consumers: the security manager
+(static pre-check at load), the optimizer (constant folding, rank
+ordering), and the executor (pure-UDF memoization).
+"""
+
+from .cfg import CFG, BasicBlock, Loop, build_cfg
+from .costs import (
+    ASSUMED_TRIP_COUNT,
+    DERIVED_SELECTIVITY,
+    OPCODE_WEIGHTS,
+    derive_cost_hints,
+)
+from .effects import ClassSummary, FunctionSummary, analyze_class
+from .lint import Finding, lint_class, report
+
+__all__ = [
+    "ASSUMED_TRIP_COUNT",
+    "BasicBlock",
+    "CFG",
+    "ClassSummary",
+    "DERIVED_SELECTIVITY",
+    "Finding",
+    "FunctionSummary",
+    "Loop",
+    "OPCODE_WEIGHTS",
+    "analyze_class",
+    "build_cfg",
+    "derive_cost_hints",
+    "lint_class",
+    "report",
+]

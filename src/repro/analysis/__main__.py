@@ -1,0 +1,8 @@
+"""``python -m repro.analysis`` — the UDF lint CLI."""
+
+import sys
+
+from .lint import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,91 @@
+"""Static cost estimation: per-opcode weights and CostHints derivation.
+
+The dynamic model in ``core/cost_model.py`` *fits* coefficients from
+calibration runs; this module is its static counterpart in the GRACEFUL
+tradition — it predicts a per-invocation cost from bytecode alone, before
+the UDF has ever run, so a UDF registered without explicit ``CostHints``
+still participates sensibly in expensive-predicate ordering.
+
+The unit convention matches ``CostHints.cost_per_call``: one cheap
+built-in comparison ~ 1 unit.  Weights mirror the dynamic model's
+structure — an interpreted opcode is a handful of units, a NATIVE call
+is a trusted in-process stdlib call, and a CALLBACK crosses the
+sandbox/server boundary (argument marshalling, security check, broker
+dispatch), the dominant term by two orders of magnitude, exactly the
+``c_callback * NumCallbacks`` term of Section 5.6.
+
+Loops multiply: a statically unknowable trip count is assumed to be
+:data:`ASSUMED_TRIP_COUNT` per nesting level, and recursive cycles are
+scaled by :data:`RECURSION_FACTOR`.  Both are order-of-magnitude knobs,
+not measurements — the point is getting the *relative* ranking of
+predicates right, and callbacks-vs-arithmetic dominates that.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict
+
+from ..vm.opcodes import Op
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..core.udf import CostHints
+    from .effects import FunctionSummary
+
+#: Assumed iterations per loop-nesting level when the trip count cannot
+#: be bounded statically.
+ASSUMED_TRIP_COUNT = 16
+
+#: Multiplier applied to the combined cost of a recursive call cycle.
+RECURSION_FACTOR = ASSUMED_TRIP_COUNT
+
+#: Selectivity assigned to derived hints: with no value distribution to
+#: consult, a coin flip is the least-wrong prior (same default the
+#: declared-hints path uses).
+DERIVED_SELECTIVITY = 0.5
+
+#: Cost of an opcode the table has no entry for.
+DEFAULT_WEIGHT = 1.0
+
+#: Per-opcode cost units.  Only the expensive classes are listed; plain
+#: stack/ALU traffic takes the default.
+OPCODE_WEIGHTS: Dict[Op, float] = {
+    # Boundary crossings — the terms that matter.
+    Op.CALLBACK: 200.0,   # sandbox -> server round trip
+    Op.NATIVE: 5.0,       # trusted stdlib, in-process
+    Op.CALL: 2.0,         # frame push/pop (callee body added separately)
+    # Allocation-accounted opcodes: heap work + quota bookkeeping.
+    Op.NEWARR: 16.0,
+    Op.NEWFARR: 16.0,
+    Op.ACOPY: 16.0,
+    Op.SCONCAT: 8.0,
+    Op.SSUB: 8.0,
+    Op.I2S: 4.0,
+    Op.F2S: 4.0,
+    # String traffic is length-dependent; charge a middling constant.
+    Op.SEQ: 4.0,
+    Op.SLEN: 2.0,
+    Op.SINDEX: 2.0,
+}
+
+
+def cost_of_instruction(op: Op) -> float:
+    """Static cost units for one execution of ``op``."""
+    return OPCODE_WEIGHTS.get(op, DEFAULT_WEIGHT)
+
+
+def derive_cost_hints(summary: "FunctionSummary") -> "CostHints":
+    """Turn a function's static summary into optimizer-facing CostHints.
+
+    The result carries ``derived=True`` so EXPLAIN can distinguish
+    analyzer estimates from operator-declared figures.
+    """
+    from ..core.udf import CostHints
+
+    # At least one unit: a zero-cost predicate would sort in front of
+    # built-in comparisons, which no UDF invocation ever beats.
+    cost = max(summary.cost_units, 1.0)
+    return CostHints(
+        cost_per_call=cost,
+        selectivity=DERIVED_SELECTIVITY,
+        derived=True,
+    )

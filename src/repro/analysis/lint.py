@@ -1,0 +1,263 @@
+"""UDF lint: surface analyzer findings before code is ever deployed.
+
+``python -m repro.analysis <target>`` runs verification + analysis over
+one or more classes and prints findings a DBA (or CI job) can act on:
+
+* **unbounded-loop** (error) — a loop with no exit edge; only the fuel
+  quota will ever stop it, and it will eat its whole budget doing so;
+* **alloc-in-loop** (warning) — an allocation-accounted opcode inside a
+  loop body: the memory quota is charged per iteration, a slow-burn way
+  to hit the limit mid-query;
+* **callback-in-loop** (warning) — a sandbox→server boundary crossing
+  per iteration, the dominant cost term of Section 5.6;
+* **dead-callback** (warning) — a callback constant-pool entry no
+  instruction references: requested attack surface that buys nothing;
+* **unknown-call** (warning) — a CALL whose effects could not be
+  resolved, poisoning purity for the caller;
+* **recursive** (note) — recursion whose depth only the fuel/call-depth
+  quotas bound.
+
+Targets may be a binary classfile (``JAGC`` magic), a JagScript source
+file, or a Python file — for the latter, every string literal (and every
+``AS '...'`` payload of an embedded ``CREATE FUNCTION``) is tried as
+JagScript, so the ``examples/`` scripts lint without modification.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..errors import ClassFormatError, CompileError, LinkError, VerifyError
+from ..vm.classfile import MAGIC, ClassFile, K_CALLBACK
+from ..vm.compiler import compile_source
+from ..vm.opcodes import Op
+from ..vm.verifier import self_resolver, verify_class
+from .cfg import build_cfg
+from .effects import ALLOC_OPS, ClassSummary, analyze_class
+
+ERROR = "error"
+WARNING = "warning"
+NOTE = "note"
+
+_LEVEL_ORDER = {ERROR: 0, WARNING: 1, NOTE: 2}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint diagnostic, anchored to a function (and pc if known)."""
+
+    level: str
+    kind: str
+    where: str                  # "Class.func" or bare class name
+    pc: Optional[int]
+    message: str
+
+    def render(self) -> str:
+        at = f"@{self.pc}" if self.pc is not None else ""
+        return f"{self.level}: [{self.kind}] {self.where}{at}: {self.message}"
+
+
+def lint_class(cls: ClassFile) -> List[Finding]:
+    """Lint one verified+analyzed class (analyzes on demand)."""
+    summary: Optional[ClassSummary] = getattr(cls, "analysis", None)
+    if summary is None:
+        summary = analyze_class(cls)
+    findings: List[Finding] = []
+    referenced_callbacks: set = set()
+    for name, func in cls.functions.items():
+        where = f"{cls.name}.{name}"
+        cfg = build_cfg(func.code)
+        fsum = summary.functions[name]
+        for loop in cfg.loops:
+            if loop.unbounded:
+                header_pc = cfg.blocks[loop.header].start
+                findings.append(Finding(
+                    ERROR, "unbounded-loop", where, header_pc,
+                    "loop has no exit edge; only the fuel quota stops it",
+                ))
+        for pc, ins in enumerate(func.code):
+            depth = cfg.depth_at(pc)
+            if ins.op is Op.CALLBACK:
+                (cb_name,) = cls.constant(ins.arg, K_CALLBACK)
+                referenced_callbacks.add(cb_name)
+                if depth > 0:
+                    findings.append(Finding(
+                        WARNING, "callback-in-loop", where, pc,
+                        f"callback {cb_name!r} inside a depth-{depth} loop: "
+                        "one sandbox/server crossing per iteration",
+                    ))
+            elif ins.op in ALLOC_OPS and depth > 0:
+                stack_depth = (
+                    func.stack_in[pc] if func.stack_in is not None else "?"
+                )
+                findings.append(Finding(
+                    WARNING, "alloc-in-loop", where, pc,
+                    f"{ins.op.name} inside a depth-{depth} loop "
+                    f"(operand stack {stack_depth}): memory quota is "
+                    "charged every iteration",
+                ))
+        if fsum.unknown_effects:
+            findings.append(Finding(
+                WARNING, "unknown-call", where, None,
+                "calls a function with unresolvable effects; "
+                "treated as impure",
+            ))
+        if fsum.recursive:
+            findings.append(Finding(
+                NOTE, "recursive", where, None,
+                "recursion depth bounded only by run-time quotas",
+            ))
+    for index, entry in enumerate(cls.pool):
+        if entry.kind == K_CALLBACK and entry.value[0] not in referenced_callbacks:
+            findings.append(Finding(
+                WARNING, "dead-callback", cls.name, None,
+                f"pool entry {index} requests callback {entry.value[0]!r} "
+                "but no instruction invokes it",
+            ))
+    findings.sort(key=lambda f: (_LEVEL_ORDER[f.level], f.where, f.pc or 0))
+    return findings
+
+
+def report(cls: ClassFile) -> List[str]:
+    """Human-readable lint report: summaries first, then findings."""
+    if getattr(cls, "analysis", None) is None:
+        analyze_class(cls)
+    lines = [f"class {cls.name} ({len(cls.functions)} function(s))"]
+    for name in cls.functions:
+        lines.append("  " + cls.analysis.functions[name].describe())
+    findings = lint_class(cls)
+    if findings:
+        lines.extend("  " + f.render() for f in findings)
+    else:
+        lines.append("  clean: no findings")
+    return lines
+
+
+# ---------------------------------------------------------------------------
+# Target loading (classfile bytes / JagScript / embedded-in-Python)
+# ---------------------------------------------------------------------------
+
+#: ``AS '...'`` payloads inside CREATE FUNCTION statements ('' escapes a
+#: quote, per SQL string-literal rules).
+_AS_PAYLOAD = re.compile(r"\bAS\s+'((?:[^']|'')*)'", re.IGNORECASE | re.DOTALL)
+
+
+def load_targets(path: Path) -> List[Tuple[str, ClassFile]]:
+    """All lintable classes found at ``path`` (unverified), with labels."""
+    data = path.read_bytes()
+    if data[:4] == MAGIC:
+        return [(path.name, ClassFile.from_bytes(data))]
+    text = data.decode("utf-8")
+    if path.suffix == ".py":
+        classes: List[Tuple[str, ClassFile]] = []
+        for i, candidate in enumerate(_embedded_sources(text)):
+            cls = _try_compile(candidate, f"{path.stem}_{i}")
+            if cls is not None:
+                classes.append((f"{path.name}[{i}]", cls))
+        return classes
+    return [(path.name, _compile_or_raise(text, _class_name_for(path)))]
+
+
+def _class_name_for(path: Path) -> str:
+    stem = re.sub(r"\W", "_", path.stem) or "Lint"
+    return stem[:1].upper() + stem[1:]
+
+
+def _embedded_sources(text: str) -> Iterable[str]:
+    """String literals that might be JagScript, dedup'd, order kept."""
+    seen: Dict[str, None] = {}
+    try:
+        tree = ast.parse(text)
+    except SyntaxError:
+        tree = None
+    if tree is not None:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Constant) and isinstance(node.value, str):
+                literal = node.value
+                if "def " in literal:
+                    seen.setdefault(literal)
+                for payload in _AS_PAYLOAD.findall(literal):
+                    unescaped = payload.replace("''", "'")
+                    if "def " in unescaped:
+                        seen.setdefault(unescaped)
+    return list(seen)
+
+
+def _standard_callbacks() -> Dict[str, tuple]:
+    from ..core.callbacks import standard_callback_signatures
+
+    return dict(standard_callback_signatures())
+
+
+def _try_compile(source: str, class_name: str) -> Optional[ClassFile]:
+    try:
+        return compile_source(source, class_name,
+                              callbacks=_standard_callbacks())
+    except (CompileError, ClassFormatError):
+        return None
+
+
+def _compile_or_raise(source: str, class_name: str) -> ClassFile:
+    return compile_source(source, class_name,
+                          callbacks=_standard_callbacks())
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Static effect/cost/loop lint over JaguarVM UDF classes.",
+    )
+    parser.add_argument(
+        "targets", nargs="+", type=Path,
+        help="classfile (.jagc), JagScript source, or Python file with "
+             "embedded UDF payloads",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="exit nonzero when any error-level finding is reported",
+    )
+    opts = parser.parse_args(argv)
+
+    errors = 0
+    for target in opts.targets:
+        try:
+            classes = load_targets(target)
+        except (OSError, ClassFormatError, CompileError,
+                UnicodeDecodeError) as exc:
+            print(f"{target}: cannot load: {exc}")
+            return 2
+        if not classes:
+            print(f"{target}: no UDF payloads found")
+            continue
+        for label, cls in classes:
+            print(f"-- {label}")
+            try:
+                verify_class(
+                    cls,
+                    self_resolver(cls, callbacks=_standard_callbacks()),
+                )
+            except (VerifyError, LinkError) as exc:
+                print(f"  error: [verify] {exc}")
+                errors += 1
+                continue
+            analyze_class(cls)
+            findings = lint_class(cls)
+            print(f"class {cls.name} ({len(cls.functions)} function(s))")
+            for name in cls.functions:
+                print("  " + cls.analysis.functions[name].describe())
+            if findings:
+                for finding in findings:
+                    print("  " + finding.render())
+            else:
+                print("  clean: no findings")
+            errors += sum(1 for f in findings if f.level == ERROR)
+    if opts.strict and errors:
+        return 1
+    return 0

@@ -88,14 +88,21 @@ def make_executor(
 
 def validate_definition(
     definition: UDFDefinition, env: ServerEnvironment
-) -> None:
-    """Registration-time checks: fail at CREATE FUNCTION, not mid-query."""
+) -> Optional[object]:
+    """Registration-time checks: fail at CREATE FUNCTION, not mid-query.
+
+    For sandboxed designs, returns the entry function's static effect
+    summary (``repro.analysis.effects.FunctionSummary``); native designs
+    are opaque host code and return ``None``.
+    """
     if definition.design.is_sandboxed:
         from .sandbox import load_sandbox_payload
 
-        # Decoding + verification happens here; a malformed or unsafe
-        # classfile never reaches the catalog.
-        load_sandbox_payload(definition, env, probe_only=True)
+        # Decoding + verification + static analysis happens here; a
+        # malformed or unsafe classfile never reaches the catalog, and a
+        # classfile whose inferred effects exceed its callback grant is
+        # rejected by the security manager's load-time pre-check.
+        return load_sandbox_payload(definition, env, probe_only=True)
     else:
         func = resolve_native_payload(definition.payload)
         nparams = len(definition.signature.param_types)

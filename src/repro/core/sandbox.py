@@ -50,11 +50,14 @@ def load_sandbox_payload(
     definition: UDFDefinition,
     env: ServerEnvironment,
     probe_only: bool = False,
-) -> Optional[LoadedUDF]:
+):
     """Turn a sandbox payload into a loaded (verified) UDF.
 
     ``probe_only`` runs the full pipeline and then unloads — used at
-    registration time to reject bad payloads without keeping state.
+    registration time to reject bad payloads without keeping state.  In
+    that mode the return value is the entry function's static effect
+    summary (``FunctionSummary``), which the registry records on the
+    definition; otherwise the :class:`LoadedUDF` is returned.
     """
     payload = definition.payload
     class_name = f"udf_{definition.name}"
@@ -102,7 +105,7 @@ def load_sandbox_payload(
         )
     if probe_only:
         vm.unload_udf(load_name)
-        return None
+        return getattr(func, "summary", None)
     return loaded
 
 

@@ -67,11 +67,15 @@ class CostHints:
 
     ``cost_per_call`` is in abstract units relative to a cheap built-in
     predicate (cost 1.0); ``selectivity`` is the expected pass fraction
-    when the UDF is used as a predicate.
+    when the UDF is used as a predicate.  ``derived`` marks hints the
+    static analyzer estimated from bytecode (registration omitted them)
+    as opposed to operator-declared figures; EXPLAIN surfaces the
+    distinction.
     """
 
     cost_per_call: float = 1000.0
     selectivity: float = 0.5
+    derived: bool = False
 
     @property
     def rank(self) -> float:
@@ -81,7 +85,14 @@ class CostHints:
 
 @dataclass
 class UDFDefinition:
-    """A registered UDF."""
+    """A registered UDF.
+
+    ``cost`` of ``None`` means the registration declared no hints; the
+    registry fills it with analyzer-derived estimates for sandboxed
+    designs (native code cannot be analyzed and falls back to defaults).
+    ``analysis`` holds the entry function's static summary
+    (:class:`~repro.analysis.effects.FunctionSummary`) once validated.
+    """
 
     name: str
     signature: UDFSignature
@@ -89,9 +100,10 @@ class UDFDefinition:
     payload: bytes
     entry: str
     callbacks: Tuple[str, ...] = ()
-    cost: CostHints = field(default_factory=CostHints)
+    cost: Optional[CostHints] = None
     fuel: Optional[int] = None
     memory: Optional[int] = None
+    analysis: Optional[object] = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         if not self.name.isidentifier():
@@ -102,6 +114,21 @@ class UDFDefinition:
     @property
     def language(self) -> str:
         return self.design.language
+
+    @property
+    def cost_hints(self) -> CostHints:
+        """Declared or derived hints, defaulting when neither exists."""
+        return self.cost if self.cost is not None else CostHints()
+
+    @property
+    def is_pure(self) -> bool:
+        """Statically proven pure: safe to fold and memoize.
+
+        Only sandboxed UDFs carry a summary; native UDFs are opaque host
+        code and are never treated as pure.
+        """
+        summary = self.analysis
+        return bool(summary is not None and getattr(summary, "pure", False))
 
 
 def resolve_native_payload(payload: bytes) -> Callable:
@@ -152,10 +179,17 @@ class UDFRegistry:
                 f"UDF {definition.name!r} is already registered"
             )
         # Validate eagerly: a bad payload should fail at CREATE FUNCTION
-        # time, not mid-query.
+        # time, not mid-query.  For sandboxed designs validation also
+        # returns the entry point's static effect summary, from which
+        # cost hints are derived when the registration declared none.
         from .factory import validate_definition
 
-        validate_definition(definition, self.environment)
+        summary = validate_definition(definition, self.environment)
+        definition.analysis = summary
+        if definition.cost is None and summary is not None:
+            from ..analysis.costs import derive_cost_hints
+
+            definition.cost = derive_cost_hints(summary)
         self._definitions[key] = definition
 
     def unregister(self, name: str) -> None:

@@ -31,7 +31,6 @@ from typing import Iterable, List, Optional, Sequence
 from .core.callbacks import CallbackBroker
 from .core.designs import Design
 from .core.udf import (
-    CostHints,
     ServerEnvironment,
     UDFDefinition,
     UDFRegistry,
@@ -212,7 +211,9 @@ class Database:
                 payload=info.payload,
                 entry=info.entry,
                 callbacks=tuple(info.callbacks),
-                cost=CostHints(),
+                # Persisted registrations re-derive hints from bytecode
+                # on reload, like any hint-less registration.
+                cost=None,
             )
             self.registry.register(definition)
 

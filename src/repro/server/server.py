@@ -20,7 +20,7 @@ import threading
 from typing import Optional
 
 from ..core.designs import Design
-from ..core.udf import CostHints, UDFDefinition, UDFSignature
+from ..core.udf import UDFDefinition, UDFSignature
 from ..database import Database
 from ..errors import ProtocolError, ReproError
 from . import protocol
@@ -169,7 +169,9 @@ class DatabaseServer:
             payload=bytes(udf_payload),
             entry=entry,
             callbacks=tuple(callbacks),
-            cost=CostHints(),
+            # The wire protocol carries no hints; the analyzer derives
+            # them from the (re-verified) payload at registration.
+            cost=None,
         )
         with self._lock:
             # The payload may be classfile bytes compiled at the client;

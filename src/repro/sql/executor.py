@@ -109,8 +109,40 @@ class _RegistryOracle(CostOracle):
 
     def udf_hints(self, name: str):
         if self.registry is not None and self.registry.has(name):
-            return self.registry.get(name).cost
+            return self.registry.get(name).cost_hints
         return None
+
+    def udf_definition(self, name: str):
+        if self.registry is not None and self.registry.has(name):
+            return self.registry.get(name)
+        return None
+
+    def fold_udf(self, name: str, args):
+        """Evaluate a (pure) UDF once at plan time.
+
+        Argument coercion mirrors the per-tuple call path: ints widen to
+        floats for FLOAT parameters.  Isolated-design executors are per
+        query and torn down right away; in-process executors are shared
+        with the upcoming execution.
+        """
+        definition = self.registry.get(name)
+        coerced = [
+            float(value)
+            if declared == "float" and isinstance(value, int)
+            and not isinstance(value, bool)
+            else value
+            for declared, value in zip(
+                definition.signature.param_types, args
+            )
+        ]
+        executor = self.registry.executor_for_query(name)
+        try:
+            executor.begin_query()
+            return executor.invoke(coerced)
+        finally:
+            executor.end_query()
+            if definition.design.is_isolated:
+                executor.close()
 
 
 class StatementExecutor:
@@ -167,10 +199,11 @@ class StatementExecutor:
 
         binding = self.db.broker.bind()
         resolver = _QueryUDFResolver(self.db.registry, binding)
+        oracle = _RegistryOracle(self.db.registry)
         try:
             plan = plan_select(statement.select, self.db.catalog, resolver)
-            plan = optimize(plan, _RegistryOracle(self.db.registry))
-            lines = explain_plan(plan)
+            plan = optimize(plan, oracle)
+            lines = explain_plan(plan, oracle)
         finally:
             resolver.finish()
         return QueryResult(
@@ -311,15 +344,20 @@ class StatementExecutor:
         else:
             __, __, func_name = statement.payload.partition(":")
             entry = statement.entry or func_name
-        hints = CostHints(
-            cost_per_call=(
-                statement.cost if statement.cost is not None else 1000.0
-            ),
-            selectivity=(
-                statement.selectivity
-                if statement.selectivity is not None else 0.5
-            ),
-        )
+        if statement.cost is None and statement.selectivity is None:
+            # No declared hints: let the registry derive them from the
+            # analyzer's static summary (sandboxed designs only).
+            hints = None
+        else:
+            hints = CostHints(
+                cost_per_call=(
+                    statement.cost if statement.cost is not None else 1000.0
+                ),
+                selectivity=(
+                    statement.selectivity
+                    if statement.selectivity is not None else 0.5
+                ),
+            )
         definition = UDFDefinition(
             name=statement.name,
             signature=UDFSignature(statement.param_types, statement.ret_type),

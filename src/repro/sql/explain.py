@@ -5,11 +5,17 @@ shows the per-scan conjunct lists in their optimized (rank) order, so a
 user can see that the cheap ``type = 'tech'`` predicate runs before the
 expensive ``InvestVal(history)`` UDF — the [Hel95]/[Jhi88] behaviour the
 related-work section describes.
+
+When a :class:`~repro.sql.optimizer.CostOracle` is supplied, each
+predicate line that calls a UDF is annotated with the facts the ordering
+decision used: the UDF's purity (from the load-time analyzer) and its
+cost/selectivity, tagged ``derived`` when the analyzer estimated them
+from bytecode rather than the registration declaring them.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 from . import ast_nodes as A
 from .planner import (
@@ -70,14 +76,50 @@ def render_expr(expr: A.Expr) -> str:
     return repr(expr)
 
 
-def explain_plan(plan: LogicalPlan) -> List[str]:
-    """One indented line per plan node, root first."""
+def explain_plan(
+    plan: LogicalPlan, oracle: Optional[object] = None
+) -> List[str]:
+    """One indented line per plan node, root first.
+
+    ``oracle`` (a :class:`~repro.sql.optimizer.CostOracle`) enables the
+    per-predicate UDF purity/cost annotations.
+    """
     lines: List[str] = []
-    _render(plan, 0, lines)
+    _render(plan, 0, lines, oracle)
     return lines
 
 
-def _render(plan: LogicalPlan, depth: int, lines: List[str]) -> None:
+def _annotate(expr: A.Expr, oracle: Optional[object]) -> str:
+    """`` -- udf f: pure, cost≈N (derived), sel=S`` for UDF predicates."""
+    if oracle is None:
+        return ""
+    from .optimizer import _function_calls
+
+    notes = []
+    for call in _function_calls(expr):
+        name = call.name.lower()
+        definition = getattr(oracle, "udf_definition", lambda n: None)(name)
+        if definition is None:
+            continue
+        hints = definition.cost_hints
+        purity = "pure" if definition.is_pure else "impure"
+        origin = "derived" if hints.derived else "declared"
+        notes.append(
+            f"udf {definition.name}: {purity}, "
+            f"cost≈{hints.cost_per_call:.0f} ({origin}), "
+            f"sel={hints.selectivity:.2f}"
+        )
+    if not notes:
+        return ""
+    return "  -- " + "; ".join(notes)
+
+
+def _render(
+    plan: LogicalPlan,
+    depth: int,
+    lines: List[str],
+    oracle: Optional[object] = None,
+) -> None:
     pad = "  " * depth
     if isinstance(plan, LogicalScan):
         if plan.index is not None:
@@ -90,20 +132,25 @@ def _render(plan: LogicalPlan, depth: int, lines: List[str]) -> None:
         for position, predicate in enumerate(plan.predicates):
             lines.append(
                 f"{pad}  filter[{position}]: {render_expr(predicate)}"
+                f"{_annotate(predicate, oracle)}"
             )
         return
     if isinstance(plan, LogicalJoin):
         lines.append(pad + "NestedLoopJoin")
         for position, predicate in enumerate(plan.predicates):
-            lines.append(f"{pad}  on[{position}]: {render_expr(predicate)}")
-        _render(plan.left, depth + 1, lines)
-        _render(plan.right, depth + 1, lines)
+            lines.append(
+                f"{pad}  on[{position}]: {render_expr(predicate)}"
+                f"{_annotate(predicate, oracle)}"
+            )
+        _render(plan.left, depth + 1, lines, oracle)
+        _render(plan.right, depth + 1, lines, oracle)
         return
     if isinstance(plan, LogicalFilter):
         lines.append(pad + "Filter")
         for position, predicate in enumerate(plan.predicates):
             lines.append(
                 f"{pad}  filter[{position}]: {render_expr(predicate)}"
+                f"{_annotate(predicate, oracle)}"
             )
     elif isinstance(plan, LogicalProject):
         rendered = ", ".join(
@@ -132,4 +179,4 @@ def _render(plan: LogicalPlan, depth: int, lines: List[str]) -> None:
         lines.append(pad + type(plan).__name__)
     child = getattr(plan, "child", None)
     if child is not None:
-        _render(child, depth + 1, lines)
+        _render(child, depth + 1, lines, oracle)

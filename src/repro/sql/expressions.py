@@ -72,9 +72,18 @@ class QueryRuntime:
 
 
 class UDFCallSite:
-    """A compiled UDF call within an expression."""
+    """A compiled UDF call within an expression.
 
-    __slots__ = ("name", "executor", "param_types", "arg_fns", "runtime")
+    Call sites of UDFs the load-time analyzer proved *pure* memoize
+    results by argument tuple: repeated values in a column (the common
+    case for low-cardinality predicates) then cost one sandbox crossing
+    per distinct value instead of one per tuple.  The cache lives and
+    dies with the call site, i.e. with one query's compiled expression.
+    """
+
+    __slots__ = (
+        "name", "executor", "param_types", "arg_fns", "runtime", "_memo",
+    )
 
     def __init__(self, name, executor, param_types, arg_fns, runtime):
         self.name = name
@@ -82,6 +91,10 @@ class UDFCallSite:
         self.param_types = param_types
         self.arg_fns = arg_fns
         self.runtime = runtime
+        definition = getattr(executor, "definition", None)
+        pure = bool(definition is not None and
+                    getattr(definition, "is_pure", False))
+        self._memo: Optional[dict] = {} if pure else None
 
     def __call__(self, row: Sequence[object]) -> object:
         args = []
@@ -96,7 +109,18 @@ class UDFCallSite:
             elif param_type == "float" and isinstance(value, int):
                 value = float(value)
             args.append(value)
-        return self.executor.invoke(args)
+        memo = self._memo
+        if memo is None:
+            return self.executor.invoke(args)
+        try:
+            key = tuple(args)
+            if key in memo:
+                return memo[key]
+        except TypeError:  # unhashable argument (e.g. bytearray)
+            return self.executor.invoke(args)
+        result = self.executor.invoke(args)
+        memo[key] = result
+        return result
 
 
 class FunctionResolver:

@@ -1,26 +1,34 @@
 """Rule-based optimizer.
 
-Three rewrites, each motivated by the paper's setting:
+Four rewrites, each motivated by the paper's setting:
 
 1. **Predicate pushdown** — single-table conjuncts move from filters and
    joins down to their scans, so UDF predicates apply "at the early
    stages of a query evaluation plan at the server" (Section 2.2's
    stated motivation for server-side UDFs).
-2. **Expensive-predicate ordering** — within each conjunct list,
+2. **Constant folding of pure UDFs** — a UDF the load-time analyzer
+   proved pure (no callbacks, the Froid insight applied to bytecode),
+   applied to all-literal arguments, is evaluated once at plan time and
+   replaced by its result; the per-tuple sandbox crossing disappears
+   entirely.
+3. **Expensive-predicate ordering** — within each conjunct list,
    predicates are ordered by Hellerstein's rank, (selectivity - 1) /
    cost-per-tuple [Hel95, Jhi88].  Cheap selective predicates run before
    expensive UDFs, which is exactly how the paper's benchmark queries
    use "restrictive (and inexpensive) predicates in the WHERE clause"
    to control how many tuples reach the UDF.
-3. **Index selection** — an equality or range conjunct over an indexed
+4. **Index selection** — an equality or range conjunct over an indexed
    integer column turns the scan into a B+-tree index scan.
 
 Cost and selectivity for UDFs come from their registration's
-:class:`~repro.core.udf.CostHints`; built-in comparisons use standard
-textbook heuristics.
+:class:`~repro.core.udf.CostHints` — declared by the operator, or
+derived from bytecode by the static analyzer when the registration
+omitted them; built-in comparisons use standard textbook heuristics.
 """
 
 from __future__ import annotations
+
+import dataclasses
 
 from typing import List, Optional, Set, Tuple
 
@@ -49,11 +57,22 @@ class CostOracle:
 
     ``udf_hints(name)`` should return a
     :class:`~repro.core.udf.CostHints` or None; the executor wires this
-    to the UDF registry.
+    to the UDF registry.  ``udf_definition(name)`` exposes the full
+    :class:`~repro.core.udf.UDFDefinition` (for purity facts) and
+    ``fold_udf(name, args)`` evaluates a pure UDF at plan time — the
+    base oracle knows no UDFs, so folding never triggers on it.
     """
 
     def udf_hints(self, name: str):
         return None
+
+    def udf_definition(self, name: str):
+        return None
+
+    def fold_udf(self, name: str, args: List[object]) -> object:
+        raise NotImplementedError(
+            "this oracle cannot evaluate UDFs at plan time"
+        )
 
     # -- predicate metrics ------------------------------------------------
 
@@ -90,6 +109,7 @@ def optimize(plan: LogicalPlan, oracle: Optional[CostOracle] = None) -> LogicalP
     """Apply all rewrites; returns the (mutated) plan."""
     oracle = oracle or CostOracle()
     plan = _pushdown(plan)
+    _fold_constants(plan, oracle)
     _order_predicates(plan, oracle)
     _select_indexes(plan)
     return plan
@@ -211,7 +231,99 @@ def _plan_labels(plan: LogicalPlan) -> Set[str]:
 
 
 # ---------------------------------------------------------------------------
-# Rewrite 2: expensive-predicate ordering
+# Rewrite 2: constant folding of pure UDFs
+# ---------------------------------------------------------------------------
+
+#: SQL-facing types whose values survive as plan-time literals.  LOB
+#: handles and byte/float arrays are query-runtime objects and stay out.
+_FOLDABLE_TYPES = frozenset({"int", "float", "bool", "str"})
+
+
+def _fold_constants(plan: LogicalPlan, oracle: CostOracle) -> None:
+    """Replace pure-UDF calls over literal args with their results."""
+    if isinstance(plan, (LogicalScan, LogicalFilter, LogicalJoin)):
+        plan.predicates = [
+            _fold_expr(predicate, oracle) for predicate in plan.predicates
+        ]
+    if isinstance(plan, LogicalProject):
+        plan.exprs = [_fold_expr(expr, oracle) for expr in plan.exprs]
+    if isinstance(plan, LogicalSort):
+        plan.keys = [_fold_expr(key, oracle) for key in plan.keys]
+    for attr in ("child", "left", "right"):
+        child = getattr(plan, attr, None)
+        if child is not None:
+            _fold_constants(child, oracle)
+
+
+def _fold_expr(expr: A.Expr, oracle: CostOracle) -> A.Expr:
+    """Bottom-up rewrite; expression nodes are frozen, so changed
+    subtrees are rebuilt with :func:`dataclasses.replace`."""
+    if isinstance(expr, A.FuncCall):
+        args = tuple(_fold_expr(arg, oracle) for arg in expr.args)
+        if args != expr.args:
+            expr = dataclasses.replace(expr, args=args)
+        return _try_fold_call(expr, oracle)
+    if isinstance(expr, A.BinaryOp):
+        return dataclasses.replace(
+            expr,
+            left=_fold_expr(expr.left, oracle),
+            right=_fold_expr(expr.right, oracle),
+        )
+    if isinstance(expr, A.UnaryOp):
+        return dataclasses.replace(
+            expr, operand=_fold_expr(expr.operand, oracle)
+        )
+    if isinstance(expr, A.IsNull):
+        return dataclasses.replace(
+            expr, operand=_fold_expr(expr.operand, oracle)
+        )
+    if isinstance(expr, A.Between):
+        return dataclasses.replace(
+            expr,
+            operand=_fold_expr(expr.operand, oracle),
+            low=_fold_expr(expr.low, oracle),
+            high=_fold_expr(expr.high, oracle),
+        )
+    if isinstance(expr, A.InList):
+        return dataclasses.replace(
+            expr,
+            operand=_fold_expr(expr.operand, oracle),
+            items=tuple(_fold_expr(item, oracle) for item in expr.items),
+        )
+    return expr
+
+
+def _try_fold_call(call: A.FuncCall, oracle: CostOracle) -> A.Expr:
+    if call.star or call.distinct:
+        return call
+    definition = oracle.udf_definition(call.name.lower())
+    if definition is None or not definition.is_pure:
+        return call
+    signature = definition.signature
+    if signature.ret_type not in _FOLDABLE_TYPES:
+        return call
+    if any(t not in _FOLDABLE_TYPES for t in signature.param_types):
+        return call
+    if len(call.args) != len(signature.param_types):
+        return call
+    if not all(isinstance(arg, A.Literal) for arg in call.args):
+        return call
+    values = [arg.value for arg in call.args]
+    if any(value is None for value in values):
+        # Strict NULL semantics: no need to run the UDF at all.
+        return A.Literal(None)
+    try:
+        result = oracle.fold_udf(call.name.lower(), values)
+    except Exception:
+        # Plan-time evaluation is an optimization, never an obligation:
+        # a UDF that traps on these constants keeps its call site (and
+        # will trap identically, attributably, at execution).
+        return call
+    return A.Literal(result)
+
+
+# ---------------------------------------------------------------------------
+# Rewrite 3: expensive-predicate ordering
 # ---------------------------------------------------------------------------
 
 def _order_predicates(plan: LogicalPlan, oracle: CostOracle) -> None:
@@ -224,7 +336,7 @@ def _order_predicates(plan: LogicalPlan, oracle: CostOracle) -> None:
 
 
 # ---------------------------------------------------------------------------
-# Rewrite 3: index selection
+# Rewrite 4: index selection
 # ---------------------------------------------------------------------------
 
 def _select_indexes(plan: LogicalPlan) -> None:

@@ -81,7 +81,11 @@ class FunctionDef:
     """One function: its typed signature, local-slot types, and bytecode.
 
     ``local_types`` covers *all* slots; the first ``len(param_types)`` slots
-    are the parameters.  ``max_stack`` is filled in by the verifier.
+    are the parameters.  ``max_stack`` and ``stack_in`` (operand-stack
+    depth entering each instruction) are filled in by the verifier;
+    ``summary`` (a :class:`~repro.analysis.effects.FunctionSummary`) by
+    the load-time analyzer.  None of the three is serialized — like
+    ``verified``, they are recomputed from hostile bytes on every load.
     """
 
     name: str
@@ -90,6 +94,8 @@ class FunctionDef:
     local_types: Tuple[VMType, ...]
     code: Tuple[Instr, ...]
     max_stack: int = 0
+    stack_in: Optional[Tuple[int, ...]] = None
+    summary: Optional[object] = None
 
     def __post_init__(self) -> None:
         if len(self.local_types) < len(self.param_types):
@@ -121,12 +127,16 @@ class ClassFile:
     pool: List[PoolEntry] = field(default_factory=list)
     functions: Dict[str, FunctionDef] = field(default_factory=dict)
     verified: bool = False
+    #: Class-level effect rollup (analysis.effects.ClassSummary), set by
+    #: the load-time analyzer; never serialized.
+    analysis: Optional[object] = None
 
     def add_function(self, func: FunctionDef) -> None:
         if func.name in self.functions:
             raise ClassFormatError(f"duplicate function {func.name!r}")
         self.functions[func.name] = func
         self.verified = False
+        self.analysis = None
 
     def pool_index(self, entry: PoolEntry) -> int:
         """Intern ``entry``, returning its pool index."""

@@ -98,10 +98,29 @@ class ClassLoader:
             # intra-class (and self-recursive) calls resolve.
             self._classes[cls.name] = cls
             verify_class(cls, self._resolver())
+            self._analyze(cls)
         except Exception:
             del self._classes[cls.name]
             raise
         return cls
+
+    def _analyze(self, cls: ClassFile) -> None:
+        """Attach load-time effect/cost summaries (``cls.analysis``).
+
+        Runs right after verification, while the class is visible to this
+        loader, so cross-class CALL effects resolve parent-first exactly
+        like the verifier's signature resolution did.
+        """
+        from ..analysis.effects import analyze_class
+
+        def foreign_summary(class_name: str, func_name: str):
+            try:
+                __, func = self.resolve_function(class_name, func_name)
+            except LinkError:  # pragma: no cover - verifier linked eagerly
+                return None
+            return getattr(func, "summary", None)
+
+        analyze_class(cls, foreign_summary=foreign_summary)
 
     def _resolver(self) -> Resolver:
         def function_signature(class_name: str, func_name: str) -> Signature:

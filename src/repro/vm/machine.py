@@ -164,6 +164,16 @@ class JaguarVM:
             permissions=permissions if permissions is not None
             else Permissions.none(),
         )
+        # Static security pre-check (analyzer rollup from define_class):
+        # a class whose bytecode references a callback or native outside
+        # the grant is rejected here, at load — not mid-query at its
+        # first denied instruction.
+        for cls in admitted:
+            rollup = getattr(cls, "analysis", None)
+            if rollup is not None:
+                security.check_static_effects(
+                    rollup.callbacks, rollup.natives, where=cls.name
+                )
         udf = LoadedUDF(
             name=name,
             loader=loader,

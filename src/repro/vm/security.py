@@ -110,6 +110,43 @@ class SecurityManager:
                 f"UDF class {self.class_name!r} may not spawn threads"
             )
 
+    def check_static_effects(
+        self,
+        callbacks: FrozenSet[str],
+        natives: FrozenSet[str] = frozenset(),
+        where: Optional[str] = None,
+    ) -> None:
+        """Load-time gate over a class's *statically inferred* effect set.
+
+        The analyzer (``repro.analysis``) knows, before a UDF ever runs,
+        every callback and native its bytecode can reach; this check
+        rejects the class at load when that set exceeds the permissions,
+        instead of faulting mid-query on the first denied instruction.
+        The run-time checks stay in place as defense in depth.
+        """
+        subject = where or self.class_name
+        for name in sorted(callbacks):
+            allowed = self.allow_all or name in self.permissions.callbacks
+            self._record("static:callback", name, allowed)
+            if not allowed:
+                raise SecurityViolation(
+                    f"UDF class {subject!r}: bytecode references callback "
+                    f"{name!r} outside its permissions; rejected at load"
+                )
+        granted_natives = self.permissions.natives
+        for name in sorted(natives):
+            allowed = (
+                self.allow_all
+                or granted_natives is None
+                or name in granted_natives
+            )
+            if not allowed:
+                self._record("static:native", name, False)
+                raise SecurityViolation(
+                    f"UDF class {subject!r}: bytecode references native "
+                    f"{name!r} outside its permissions; rejected at load"
+                )
+
     def denials(self) -> List[AuditRecord]:
         """All denied actions, for the DBA's forensic queries."""
         return [r for r in self.audit_log if not r.allowed]

@@ -193,6 +193,9 @@ def _verify_function(cls: ClassFile, func: FunctionDef, resolver: Resolver) -> N
     # Locals init bitmask implicitly bounded by nlocals via LOAD/STORE checks.
     del nlocals
     func.max_stack = max_stack
+    # Export the proven per-instruction entry depths for the load-time
+    # analyzer (repro.analysis): facts, not guesses — every pc has one.
+    func.stack_in = tuple(len(s.stack) for s in states if s is not None)
 
 
 def _merge(old: _State, new: _State, where: str, pc: int) -> _State:

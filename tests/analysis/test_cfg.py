@@ -1,0 +1,146 @@
+"""CFG construction and natural-loop detection on hand-built code."""
+
+import pytest
+
+from repro.analysis import build_cfg
+from repro.vm.compiler import compile_source
+from repro.vm.opcodes import Instr, Op
+
+
+def instrs(*pairs):
+    return tuple(Instr(op, arg) for op, arg in pairs)
+
+
+class TestBasicBlocks:
+    def test_straight_line_is_one_block(self):
+        cfg = build_cfg(instrs(
+            (Op.ICONST, 1), (Op.ICONST, 2), (Op.IADD, None), (Op.RET, None),
+        ))
+        assert len(cfg.blocks) == 1
+        assert cfg.blocks[0].pcs == range(0, 4)
+        assert cfg.loops == []
+        assert cfg.max_loop_depth == 0
+
+    def test_branch_splits_blocks(self):
+        # 0: JZ 3 / 1: ICONST / 2: RET / 3: ICONST / 4: RET
+        cfg = build_cfg(instrs(
+            (Op.JZ, 3), (Op.ICONST, 1), (Op.RET, None),
+            (Op.ICONST, 2), (Op.RET, None),
+        ))
+        assert [block.start for block in cfg.blocks] == [0, 1, 3]
+        entry = cfg.blocks[0]
+        assert sorted(entry.successors) == [1, 2]
+        # RET terminates: no fallthrough edge out of block 1.
+        assert cfg.blocks[1].successors == []
+        assert cfg.loops == []
+
+    def test_empty_code_rejected(self):
+        with pytest.raises(ValueError):
+            build_cfg(())
+
+    def test_block_of_maps_every_pc(self):
+        cfg = build_cfg(instrs(
+            (Op.JZ, 2), (Op.RET, None), (Op.RET, None),
+        ))
+        assert len(cfg.block_of) == 3
+        for pc, block_index in enumerate(cfg.block_of):
+            assert pc in cfg.blocks[block_index].pcs
+
+
+class TestLoopDetection:
+    def test_bounded_loop(self):
+        # 0: ICONST / 1: JZ 5 (exit) / 2: ICONST / 3: POP / 4: JMP 0
+        # 5: ICONST / 6: RET
+        cfg = build_cfg(instrs(
+            (Op.ICONST, 10), (Op.JZ, 5),
+            (Op.ICONST, 1), (Op.POP, None), (Op.JMP, 0),
+            (Op.ICONST, 0), (Op.RET, None),
+        ))
+        assert len(cfg.loops) == 1
+        loop = cfg.loops[0]
+        assert not loop.unbounded
+        assert cfg.blocks[loop.header].start == 0
+        # Everything in the loop is at depth 1, the tail at depth 0.
+        assert cfg.loop_depth[:5] == [1, 1, 1, 1, 1]
+        assert cfg.loop_depth[5:] == [0, 0]
+
+    def test_unbounded_self_loop(self):
+        cfg = build_cfg(instrs((Op.JMP, 0),))
+        assert len(cfg.loops) == 1
+        assert cfg.loops[0].unbounded
+
+    def test_nested_loops_and_depth(self):
+        # outer: 0: JZ 6 / inner: 1: JZ 4 / 2: ICONST / 3: JMP 1
+        #        4: ICONST / 5: JMP 0 / 6: RET
+        cfg = build_cfg(instrs(
+            (Op.JZ, 6), (Op.JZ, 4), (Op.ICONST, 0), (Op.JMP, 1),
+            (Op.ICONST, 0), (Op.JMP, 0), (Op.RET, None),
+        ))
+        assert len(cfg.loops) == 2
+        assert all(not loop.unbounded for loop in cfg.loops)
+        headers = sorted(cfg.blocks[loop.header].start for loop in cfg.loops)
+        assert headers == [0, 1]
+        assert cfg.max_loop_depth == 2
+        # The inner body sits inside both loops; the exit block in none.
+        assert cfg.depth_at(2) == 2
+        assert cfg.depth_at(0) == 1
+        assert cfg.depth_at(6) == 0
+
+    def test_two_back_edges_one_header_merge(self):
+        # Both JMP 0s target the same header: one merged loop, not two.
+        cfg = build_cfg(instrs(
+            (Op.JZ, 3), (Op.ICONST, 0), (Op.JMP, 0),
+            (Op.JZ, 6), (Op.JMP, 0),
+            (Op.ICONST, 0), (Op.RET, None),
+        ))
+        assert len(cfg.loops) == 1
+        body_pcs = {
+            pc
+            for block_index in cfg.loops[0].body
+            for pc in cfg.blocks[block_index].pcs
+        }
+        assert {0, 1, 2, 3, 4} <= body_pcs
+
+    def test_loop_with_no_exit_after_merge(self):
+        # 0: JZ 2 / 1: JMP 0 / 2: JMP 0 — every successor stays inside.
+        cfg = build_cfg(instrs((Op.JZ, 2), (Op.JMP, 0), (Op.JMP, 0)))
+        assert len(cfg.loops) == 1
+        assert cfg.loops[0].unbounded
+
+
+class TestCompiledSources:
+    """The compiler's loop shapes are recognized, not just synthetic ones."""
+
+    def test_while_true_is_unbounded(self):
+        cls = compile_source(
+            "def spin() -> int:\n    while True:\n        pass\n", "S"
+        )
+        cfg = build_cfg(cls.functions["spin"].code)
+        assert any(loop.unbounded for loop in cfg.loops)
+
+    def test_range_loop_is_bounded(self):
+        cls = compile_source(
+            "def total(n: int) -> int:\n"
+            "    s: int = 0\n"
+            "    for i in range(n):\n"
+            "        s = s + i\n"
+            "    return s\n",
+            "T",
+        )
+        cfg = build_cfg(cls.functions["total"].code)
+        assert len(cfg.loops) == 1
+        assert not cfg.loops[0].unbounded
+
+    def test_nested_source_loops(self):
+        cls = compile_source(
+            "def grid(n: int) -> int:\n"
+            "    s: int = 0\n"
+            "    for i in range(n):\n"
+            "        for j in range(n):\n"
+            "            s = s + 1\n"
+            "    return s\n",
+            "G",
+        )
+        cfg = build_cfg(cls.functions["grid"].code)
+        assert len(cfg.loops) == 2
+        assert cfg.max_loop_depth == 2

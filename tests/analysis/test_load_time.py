@@ -1,0 +1,178 @@
+"""End-to-end payoffs of load-time analysis: derived hints in EXPLAIN,
+constant folding, memoization, and rejection at CREATE FUNCTION."""
+
+import pytest
+
+from repro.core.sandbox import SandboxExecutor
+from repro.errors import SecurityViolation
+
+TWICE = (
+    "CREATE FUNCTION twice(int) RETURNS int LANGUAGE JAGUAR "
+    "DESIGN SANDBOX AS 'def twice(x: int) -> int:\n    return x + x'"
+)
+
+
+def plan_text(db, sql):
+    return "\n".join(row[0] for row in db.query("EXPLAIN " + sql))
+
+
+@pytest.fixture
+def table(db):
+    db.execute("CREATE TABLE t (id INT, v INT)")
+    db.execute("INSERT INTO t VALUES (1, 10), (2, 10), (3, 20)")
+    return db
+
+
+class TestDerivedCostHints:
+    def test_registration_without_hints_derives_them(self, table):
+        table.execute(TWICE)
+        definition = table.registry.get("twice")
+        assert definition.cost is not None
+        assert definition.cost.derived
+        assert definition.cost.cost_per_call >= 1.0
+        assert definition.cost.selectivity == 0.5
+
+    def test_declared_hints_win_over_derivation(self, table):
+        table.execute(
+            "CREATE FUNCTION pricey(int) RETURNS int LANGUAGE JAGUAR "
+            "DESIGN SANDBOX COST 5000 SELECTIVITY 0.2 "
+            "AS 'def pricey(x: int) -> int:\n    return x'"
+        )
+        definition = table.registry.get("pricey")
+        assert not definition.cost.derived
+        assert definition.cost.cost_per_call == 5000.0
+
+    def test_explain_annotates_derived_purity_and_cost(self, table):
+        table.execute(TWICE)
+        text = plan_text(table, "SELECT id FROM t WHERE twice(v) > 15")
+        assert "udf twice: pure" in text
+        assert "(derived)" in text
+        assert "sel=0.50" in text
+
+    def test_explain_annotates_declared_hints(self, table):
+        table.execute(
+            "CREATE FUNCTION pricey(int) RETURNS int LANGUAGE JAGUAR "
+            "DESIGN SANDBOX COST 5000 SELECTIVITY 0.2 "
+            "AS 'def pricey(x: int) -> int:\n    return x'"
+        )
+        text = plan_text(table, "SELECT id FROM t WHERE pricey(v) > 15")
+        assert "cost≈5000 (declared)" in text
+        assert "sel=0.20" in text
+
+    def test_explain_marks_impure_udfs(self, table):
+        table.execute(
+            "CREATE FUNCTION chatty(int) RETURNS int LANGUAGE JAGUAR "
+            "DESIGN SANDBOX CALLBACKS 'cb_noop' "
+            "AS 'def chatty(x: int) -> int:\n    return x + cb_noop()'"
+        )
+        text = plan_text(table, "SELECT id FROM t WHERE chatty(v) > 15")
+        assert "udf chatty: impure" in text
+
+
+class TestConstantFolding:
+    def test_pure_udf_over_literals_folds_at_plan_time(self, table):
+        table.execute(TWICE)
+        text = plan_text(table, "SELECT id FROM t WHERE twice(3) > v")
+        assert "(6 > t.v)" in text
+        assert "twice" not in text
+
+    def test_folded_query_returns_correct_rows(self, table):
+        table.execute(TWICE)
+        rows = table.query(
+            "SELECT id FROM t WHERE twice(8) > v ORDER BY id"
+        )
+        assert rows == [(1,), (2,)]  # 16 > 10 twice, 16 > 20 never
+
+    def test_non_literal_args_do_not_fold(self, table):
+        table.execute(TWICE)
+        text = plan_text(table, "SELECT id FROM t WHERE twice(v) > 15")
+        assert "twice(t.v)" in text
+
+    def test_impure_udf_never_folds(self, table):
+        table.execute(
+            "CREATE FUNCTION chatty(int) RETURNS int LANGUAGE JAGUAR "
+            "DESIGN SANDBOX CALLBACKS 'cb_noop' "
+            "AS 'def chatty(x: int) -> int:\n    return x + cb_noop()'"
+        )
+        text = plan_text(table, "SELECT id FROM t WHERE chatty(3) > v")
+        assert "chatty(3)" in text
+
+    def test_null_literal_folds_to_null_without_invoking(self, table):
+        table.execute(TWICE)
+        text = plan_text(table, "SELECT id FROM t WHERE twice(NULL) > v")
+        assert "twice" not in text
+
+    def test_folding_in_projection(self, table):
+        table.execute(TWICE)
+        rows = table.query("SELECT twice(21) FROM t WHERE id = 1")
+        assert rows == [(42,)]
+
+
+class TestMemoization:
+    def test_pure_udf_invoked_once_per_distinct_args(
+        self, table, monkeypatch
+    ):
+        table.execute(TWICE)
+        calls = []
+        original = SandboxExecutor.invoke
+
+        def counting(self, args):
+            calls.append(tuple(args))
+            return original(self, args)
+
+        monkeypatch.setattr(SandboxExecutor, "invoke", counting)
+        rows = table.query("SELECT id FROM t WHERE twice(v) > 25 ORDER BY id")
+        assert rows == [(3,)]
+        # Three rows, two distinct v values: the memo absorbs the dupe.
+        assert len(calls) == 2
+
+    def test_impure_udf_not_memoized(self, table, monkeypatch):
+        table.execute(
+            "CREATE FUNCTION chatty(int) RETURNS int LANGUAGE JAGUAR "
+            "DESIGN SANDBOX CALLBACKS 'cb_noop' "
+            "AS 'def chatty(x: int) -> int:\n    return x + x + cb_noop()'"
+        )
+        calls = []
+        original = SandboxExecutor.invoke
+
+        def counting(self, args):
+            calls.append(tuple(args))
+            return original(self, args)
+
+        monkeypatch.setattr(SandboxExecutor, "invoke", counting)
+        table.query("SELECT id FROM t WHERE chatty(v) > 15")
+        assert len(calls) == 3  # one per row, no memo
+
+
+class TestStaticSecurityPreCheck:
+    def test_ungranted_callback_rejected_at_create(self, table):
+        with pytest.raises(SecurityViolation, match="rejected at load"):
+            table.execute(
+                "CREATE FUNCTION snoop(int) RETURNS int LANGUAGE JAGUAR "
+                "DESIGN SANDBOX AS "
+                "'def snoop(x: int) -> int:\n    return cb_lob_length(x)'"
+            )
+        assert not table.registry.has("snoop")
+
+    def test_granted_callback_loads_and_runs(self, table):
+        table.execute(
+            "CREATE FUNCTION fine(int) RETURNS int LANGUAGE JAGUAR "
+            "DESIGN SANDBOX CALLBACKS 'cb_noop' "
+            "AS 'def fine(x: int) -> int:\n    return x + cb_noop()'"
+        )
+        rows = table.query("SELECT fine(1) FROM t WHERE id = 1")
+        assert rows == [(1,)]
+
+    def test_rejection_leaves_catalog_reusable(self, table):
+        with pytest.raises(SecurityViolation):
+            table.execute(
+                "CREATE FUNCTION snoop(int) RETURNS int LANGUAGE JAGUAR "
+                "DESIGN SANDBOX AS "
+                "'def snoop(x: int) -> int:\n    return cb_lob_length(x)'"
+            )
+        # The name is free: a corrected registration succeeds.
+        table.execute(
+            "CREATE FUNCTION snoop(int) RETURNS int LANGUAGE JAGUAR "
+            "DESIGN SANDBOX AS 'def snoop(x: int) -> int:\n    return x'"
+        )
+        assert table.registry.has("snoop")

@@ -197,21 +197,29 @@ class TestSandboxResourcePolicing:
 class TestLeastPrivilege:
     def test_unauthorized_callback_denied(self, registry):
         # The UDF compiles (cb_lob_length is a known signature) but the
-        # registration grants no callbacks.
+        # registration grants no callbacks: the static pre-check rejects
+        # it at CREATE FUNCTION time, before it can ever run.
         definition = sandbox_def("sneak", SNEAKY_SRC, "sneak")
         with pytest.raises(SecurityViolation):
             run_udf(registry, definition, [1])
 
-    def test_denial_recorded_in_audit_log(self, registry):
+    def test_rejected_at_registration_not_first_invocation(self, registry):
         definition = sandbox_def("sneak2", SNEAKY_SRC, "sneak")
-        registry.register(definition)
-        executor = registry.executor_for_query("sneak2")
-        executor.begin_query(registry.environment.broker.bind())
-        with pytest.raises(SecurityViolation):
-            executor.invoke([1])
-        executor.end_query()
-        denials = executor._loaded.security.denials()
+        with pytest.raises(SecurityViolation, match="cb_lob_length"):
+            registry.register(definition)
+        # Nothing reached the catalog or the VM.
+        assert not registry.has("sneak2")
+        assert "sneak2" not in registry.environment.vm.loaded_udfs
+
+    def test_denial_recorded_in_audit_log(self, registry):
+        from repro.vm.security import SecurityManager
+
+        manager = SecurityManager(class_name="udf_sneak2")
+        with pytest.raises(SecurityViolation, match="rejected at load"):
+            manager.check_static_effects(frozenset({"cb_lob_length"}))
+        denials = manager.denials()
         assert denials and denials[0].target == "cb_lob_length"
+        assert denials[0].action == "static:callback"
 
     def test_granted_callback_allowed(self, registry):
         definition = sandbox_def(

@@ -75,13 +75,15 @@ class TestQuotasAndJit:
 
 class TestCallbackPermissions:
     def test_callback_denied_without_grant(self, vm):
+        # The static pre-check spots the ungranted CALLBACK in the
+        # bytecode and rejects the load itself — the UDF never runs.
         src = "def f() -> int:\n    return cb_probe()"
-        udf = vm.load_udf(
-            "probe", [compile_source(src, "P", callbacks=CB_SIGS)],
-            callbacks={"cb_probe": lambda: 7},
-        )
-        with pytest.raises(SecurityViolation):
-            udf.invoke("f", [])
+        with pytest.raises(SecurityViolation, match="rejected at load"):
+            vm.load_udf(
+                "probe", [compile_source(src, "P", callbacks=CB_SIGS)],
+                callbacks={"cb_probe": lambda: 7},
+            )
+        assert "probe" not in vm.loaded_udfs
 
     def test_callback_allowed_with_grant(self, vm):
         src = "def f() -> int:\n    return cb_probe()"

@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Certified-bound metering elision vs dynamic per-instruction metering.
+
+The bounds certifier (``repro.analysis.bounds``) proves a worst-case
+fuel bound for the paper's generic benchmark UDF, which lets the
+interpreter charge the whole bound up front instead of decrementing the
+fuel counter at every instruction (and lets the JIT skip its per-block
+charge).  This benchmark measures that saving on the paper's
+NumDataIndepComps sweep (Rel1 / Rel100 / Rel10000): the same verified
+bytecode is loaded twice, once with its certificates attached (elided
+metering) and once with them stripped (the dynamic baseline), and each
+variant runs the identical invocation schedule.
+
+Run::
+
+    python benchmarks/bounds_metering.py                # full sweep
+    python benchmarks/bounds_metering.py --smoke        # one point (CI)
+    python benchmarks/bounds_metering.py --out out.json # machine output
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.callbacks import standard_callback_signatures  # noqa: E402
+from repro.core.generic_udf import GENERIC_JAGSCRIPT  # noqa: E402
+from repro.vm.compiler import compile_source  # noqa: E402
+from repro.vm.machine import JaguarVM  # noqa: E402
+from repro.vm.security import Permissions  # noqa: E402
+
+#: The paper's data-independent computation sweep (Section 5.2's Rel1 /
+#: Rel100 / Rel10000 relation naming).
+SWEEP = (1, 100, 10_000)
+
+DATA = bytes(64)
+
+
+def _load_pair(use_jit: bool):
+    """The generic UDF twice: certificates attached vs stripped."""
+    signatures = standard_callback_signatures()
+    vm = JaguarVM(callback_signatures=signatures, use_jit=use_jit)
+    handlers = {"cb_noop": lambda: 0}
+    pair = {}
+    for variant in ("certified", "dynamic"):
+        cls = compile_source(
+            GENERIC_JAGSCRIPT, f"Gen_{variant}", callbacks=signatures
+        )
+        udf = vm.load_udf(
+            name=variant,
+            classfiles=[cls],
+            permissions=Permissions.with_callbacks("cb_noop"),
+            callbacks=handlers,
+        )
+        if variant == "dynamic":
+            # Strip the certificates: this is the pre-certifier system,
+            # metering every instruction (interpreter) / block (JIT).
+            for func in udf.main_class.functions.values():
+                func.certificate = None
+            udf.main_class.certificates = None
+        pair[variant] = udf
+    return pair
+
+
+def _time_invocations(udf, num_indep: int, invocations: int,
+                      repeats: int) -> float:
+    """Best-of-``repeats`` wall time for ``invocations`` generic calls."""
+    context = udf.make_context()
+    args = [DATA, num_indep, 1, 0]
+    best = float("inf")
+    for __ in range(repeats):
+        start = time.perf_counter()
+        for __ in range(invocations):
+            context.account.reset()
+            udf.invoke("generic", args, context=context)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run(smoke: bool = False) -> dict:
+    sweep = SWEEP[1:2] if smoke else SWEEP
+    invocations = 20 if smoke else 200
+    repeats = 2 if smoke else 3
+    modes = ("interpreter",) if smoke else ("interpreter", "jit")
+    results = {"sweep_parameter": "NumDataIndepComps", "modes": {}}
+    for mode in modes:
+        pair = _load_pair(use_jit=(mode == "jit"))
+        points = []
+        for num_indep in sweep:
+            t_dynamic = _time_invocations(
+                pair["dynamic"], num_indep, invocations, repeats
+            )
+            t_certified = _time_invocations(
+                pair["certified"], num_indep, invocations, repeats
+            )
+            speedup = t_dynamic / t_certified if t_certified > 0 else 0.0
+            points.append({
+                "num_indep": num_indep,
+                "invocations": invocations,
+                "t_dynamic_s": t_dynamic,
+                "t_certified_s": t_certified,
+                "speedup": speedup,
+            })
+            print(
+                f"{mode:12s} NumDataIndepComps={num_indep:>6}: "
+                f"dynamic {t_dynamic * 1e3:8.2f} ms, "
+                f"certified {t_certified * 1e3:8.2f} ms, "
+                f"speedup {speedup:5.2f}x"
+            )
+        results["modes"][mode] = points
+    return results
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="one sweep point, few invocations (CI sanity run)",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=None,
+        help="write results as JSON to this path",
+    )
+    opts = parser.parse_args(argv)
+    results = run(smoke=opts.smoke)
+    if opts.out is not None:
+        opts.out.write_text(json.dumps(results, indent=2) + "\n")
+        print(f"wrote {opts.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

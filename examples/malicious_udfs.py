@@ -44,14 +44,16 @@ def main() -> None:
         print(f"  stopped: {exc}")
     print("  (a 1998 JVM had no such quota — Section 6.2; Design 1/2 still don't)")
 
-    attack("memory denial of service (allocation bomb)")
+    attack("memory denial of service (input-dependent allocation bomb)")
+    # The allocation size depends on the argument, so no static bound
+    # exists; the runtime quota is the defense that fires.
     db.execute(
         "CREATE FUNCTION mem_bomb(int) RETURNS int LANGUAGE JAGUAR "
         "DESIGN SANDBOX MEMORY 4194304 AS "
         "'def mem_bomb(x: int) -> int:\n"
         "    total: int = 0\n"
         "    for i in range(1000000):\n"
-        "        a: bytes = bytearray(1048576)\n"
+        "        a: bytes = bytearray(x * 1048576)\n"
         "        total = total + len(a)\n"
         "    return total\n'"
     )
@@ -59,6 +61,25 @@ def main() -> None:
         db.execute("SELECT mem_bomb(id) FROM victims")
     except MemoryQuotaExceeded as exc:
         print(f"  stopped: {exc}")
+
+    attack("memory denial of service (provable allocation bomb)")
+    # Here every quantity is a compile-time constant, so the bounds
+    # certifier can *prove* the minimum heap consumption (1 TiB) exceeds
+    # the quota before the UDF ever runs: the registration itself is
+    # rejected, with a static:bounds entry in the audit log.
+    try:
+        db.execute(
+            "CREATE FUNCTION alloc_bomb(int) RETURNS int LANGUAGE JAGUAR "
+            "DESIGN SANDBOX MEMORY 4194304 AS "
+            "'def alloc_bomb(x: int) -> int:\n"
+            "    total: int = 0\n"
+            "    for i in range(1000000):\n"
+            "        a: bytes = bytearray(1048576)\n"
+            "        total = total + len(a)\n"
+            "    return total\n'"
+        )
+    except SecurityViolation as exc:
+        print(f"  stopped at CREATE FUNCTION: {exc}")
 
     attack("unauthorized data access (callback without permission)")
     # The static analyzer sees the CALLBACK instruction in the verified
@@ -127,7 +148,7 @@ def main() -> None:
     )
 
     db.close()
-    print("\nAll five attacks neutralized.")
+    print("\nAll six attacks neutralized.")
 
 
 def hard_crash(x):

@@ -7,18 +7,37 @@ ever runs:
 * :mod:`~repro.analysis.cfg` — basic blocks, dominators, natural loops;
 * :mod:`~repro.analysis.effects` — purity/effect summaries (natives,
   callbacks, allocation, termination) closed over the call graph;
+* :mod:`~repro.analysis.intervals` — the abstract domains of the bounds
+  pass: :class:`Interval` (wrap-aware int64 ranges) and :class:`Bound`
+  (symbolic polynomials over input sizes);
+* :mod:`~repro.analysis.bounds` — resource-bound certification: an
+  abstract interpreter proving per-function worst-case fuel/heap/depth
+  (:class:`ResourceCertificate`), consumed by the load gate, the
+  metering-elision fast paths, admission control, and the optimizer;
 * :mod:`~repro.analysis.costs` — static per-invocation cost estimation
   and :func:`~repro.analysis.costs.derive_cost_hints` for UDFs
   registered without declared ``CostHints``;
-* :mod:`~repro.analysis.lint` — the ``python -m repro.analysis`` CLI.
+* :mod:`~repro.analysis.lint` — the ``python -m repro.analysis`` CLI
+  (plus the ``bounds`` subcommand printing certificates).
 
-The class loader invokes :func:`analyze_class` right after verification,
-so every loaded ``FunctionDef`` carries a ``summary`` and every
-``ClassFile`` an ``analysis`` rollup.  Consumers: the security manager
-(static pre-check at load), the optimizer (constant folding, rank
-ordering), and the executor (pure-UDF memoization).
+The class loader invokes :func:`analyze_class` and then
+:func:`certify_class` right after verification, so every loaded
+``FunctionDef`` carries a ``summary`` and a ``certificate``, and every
+``ClassFile`` an ``analysis`` and a ``certificates`` rollup.  Consumers:
+the security manager (static pre-checks at load, including the
+minimum-consumption bounds gate), the interpreter/JIT (per-instruction
+metering elision), thread-group admission control, the optimizer
+(constant folding, rank ordering, certified cost caps), and the executor
+(pure-UDF memoization).
 """
 
+from .bounds import (
+    ClassCertificates,
+    LoopBound,
+    ResourceCertificate,
+    certify_class,
+    constant_bound,
+)
 from .cfg import CFG, BasicBlock, Loop, build_cfg
 from .costs import (
     ASSUMED_TRIP_COUNT,
@@ -27,21 +46,30 @@ from .costs import (
     derive_cost_hints,
 )
 from .effects import ClassSummary, FunctionSummary, analyze_class
+from .intervals import Bound, Interval, describe_bound
 from .lint import Finding, lint_class, report
 
 __all__ = [
     "ASSUMED_TRIP_COUNT",
     "BasicBlock",
+    "Bound",
     "CFG",
+    "ClassCertificates",
     "ClassSummary",
     "DERIVED_SELECTIVITY",
     "Finding",
     "FunctionSummary",
+    "Interval",
     "Loop",
+    "LoopBound",
     "OPCODE_WEIGHTS",
+    "ResourceCertificate",
     "analyze_class",
     "build_cfg",
+    "certify_class",
+    "constant_bound",
     "derive_cost_hints",
+    "describe_bound",
     "lint_class",
     "report",
 ]

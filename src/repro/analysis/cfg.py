@@ -67,6 +67,9 @@ class CFG:
     block_of: List[int]         # pc -> block index
     loops: List[Loop]
     loop_depth: List[int]       # pc -> nesting depth (0 = not in a loop)
+    #: per block, the set of blocks dominating it (the bounds certifier
+    #: uses these for must-execute reasoning; entry dominates all).
+    dominators: List[FrozenSet[int]] = field(default_factory=list)
 
     @property
     def max_loop_depth(self) -> int:
@@ -93,7 +96,7 @@ def build_cfg(code: Sequence[Instr]) -> CFG:
             for pc in blocks[block_index].pcs:
                 loop_depth[pc] += 1
     return CFG(blocks=blocks, block_of=block_of, loops=loops,
-               loop_depth=loop_depth)
+               loop_depth=loop_depth, dominators=dominators)
 
 
 def _basic_blocks(code: Sequence[Instr]) -> List[BasicBlock]:

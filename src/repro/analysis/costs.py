@@ -73,17 +73,34 @@ def cost_of_instruction(op: Op) -> float:
     return OPCODE_WEIGHTS.get(op, DEFAULT_WEIGHT)
 
 
-def derive_cost_hints(summary: "FunctionSummary") -> "CostHints":
+def derive_cost_hints(
+    summary: "FunctionSummary", certificate: object = None
+) -> "CostHints":
     """Turn a function's static summary into optimizer-facing CostHints.
 
     The result carries ``derived=True`` so EXPLAIN can distinguish
     analyzer estimates from operator-declared figures.
+
+    When a resource ``certificate`` proves a *constant* fuel bound, it
+    caps the estimate: the heuristic :data:`ASSUMED_TRIP_COUNT`
+    pessimism can overstate tight counted loops by orders of magnitude,
+    while the certified bound is the worst case the function can
+    actually execute.  Boundary-crossing weights (callbacks) are not
+    capped — fuel counts instructions, not marshalling.
     """
     from ..core.udf import CostHints
+    from .bounds import constant_bound
 
     # At least one unit: a zero-cost predicate would sort in front of
     # built-in comparisons, which no UDF invocation ever beats.
     cost = max(summary.cost_units, 1.0)
+    fuel_const = (
+        constant_bound(getattr(certificate, "fuel_bound", None))
+        if certificate is not None
+        else None
+    )
+    if fuel_const is not None and not summary.callbacks:
+        cost = min(cost, max(float(fuel_const), 1.0))
     return CostHints(
         cost_per_call=cost,
         selectivity=DERIVED_SELECTIVITY,

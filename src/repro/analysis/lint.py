@@ -206,9 +206,92 @@ def _compile_or_raise(source: str, class_name: str) -> ClassFile:
                           callbacks=_standard_callbacks())
 
 
+def _expand_targets(targets: List[Path]) -> List[Path]:
+    """Flatten directory targets into their lintable member files."""
+    paths: List[Path] = []
+    for target in targets:
+        if target.is_dir():
+            paths.extend(sorted(
+                p for p in target.iterdir()
+                if p.is_file() and p.suffix in (".py", ".jag", ".jagc")
+            ))
+        else:
+            paths.append(target)
+    return paths
+
+
+def bounds_main(argv: Optional[List[str]] = None) -> int:
+    """``python -m repro.analysis bounds`` — resource-bound certificates.
+
+    Prints each function's :class:`ResourceCertificate` (worst-case fuel
+    and heap as symbolic functions of the inputs, call depth, proven
+    minimums) plus its per-loop trip bounds.  Unbounded functions are
+    reported, not failed — ``--strict`` exits nonzero only when a target
+    cannot be loaded or verified, so an intentionally input-dependent
+    UDF does not break CI.
+    """
+    import argparse
+
+    from .bounds import certify_class
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis bounds",
+        description="Static resource-bound certification over UDF classes.",
+    )
+    parser.add_argument(
+        "targets", nargs="+", type=Path,
+        help="classfile (.jagc), JagScript source, Python file with "
+             "embedded UDF payloads, or a directory of such files",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="exit nonzero when any target fails to load or verify",
+    )
+    opts = parser.parse_args(argv)
+
+    failures = 0
+    for target in _expand_targets(opts.targets):
+        try:
+            classes = load_targets(target)
+        except (OSError, ClassFormatError, CompileError,
+                UnicodeDecodeError) as exc:
+            print(f"{target}: cannot load: {exc}")
+            failures += 1
+            continue
+        if not classes:
+            print(f"{target}: no UDF payloads found")
+            continue
+        for label, cls in classes:
+            print(f"-- {label}")
+            try:
+                verify_class(
+                    cls,
+                    self_resolver(cls, callbacks=_standard_callbacks()),
+                )
+            except (VerifyError, LinkError) as exc:
+                print(f"  error: [verify] {exc}")
+                failures += 1
+                continue
+            certificates = certify_class(cls)
+            for name in sorted(certificates.functions):
+                cert = certificates.functions[name]
+                print("  " + cert.describe())
+                for loop in cert.loops:
+                    print("    " + loop.describe())
+    if opts.strict and failures:
+        return 1
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     import argparse
+    import sys
+
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "bounds":
+        return bounds_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",

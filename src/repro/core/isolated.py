@@ -368,7 +368,6 @@ def _build_worker_invoker(worker_payload: tuple, port: _RemoteCallbackPort):
     if kind == "jaguar":
         __, class_bytes, entry, callbacks, fuel, memory, use_jit = worker_payload
         from ..vm.machine import JaguarVM
-        from ..vm.resources import DEFAULT_FUEL, DEFAULT_MEMORY
         from ..vm.security import Permissions
         from .callbacks import standard_callback_signatures
 
@@ -380,13 +379,14 @@ def _build_worker_invoker(worker_payload: tuple, port: _RemoteCallbackPort):
             name: _make_remote_handler(port, name)
             for name in standard_callback_signatures()
         }
+        # None quotas inherit the worker VM's default QuotaPolicy.
         loaded = vm.load_udf(
             name="remote",
             classfiles=[class_bytes],
             permissions=Permissions(callbacks=frozenset(callbacks)),
             callbacks=handlers,
-            fuel=fuel or DEFAULT_FUEL,
-            memory=memory or DEFAULT_MEMORY,
+            fuel=fuel or None,
+            memory=memory or None,
         )
         context = loaded.make_context()
 

@@ -31,7 +31,6 @@ from ..errors import UDFRegistrationError
 from ..vm.classfile import MAGIC, ClassFile
 from ..vm.compiler import compile_source
 from ..vm.machine import LoadedUDF
-from ..vm.resources import DEFAULT_FUEL, DEFAULT_MEMORY
 from ..vm.security import Permissions
 from .factory import UDFExecutor
 from .udf import ServerEnvironment, UDFDefinition
@@ -55,9 +54,11 @@ def load_sandbox_payload(
 
     ``probe_only`` runs the full pipeline and then unloads — used at
     registration time to reject bad payloads without keeping state.  In
-    that mode the return value is the entry function's static effect
-    summary (``FunctionSummary``), which the registry records on the
-    definition; otherwise the :class:`LoadedUDF` is returned.
+    that mode the return value is a ``(summary, certificate)`` pair: the
+    entry function's static effect summary (``FunctionSummary``) and its
+    resource certificate (``ResourceCertificate``), both of which the
+    registry records on the definition; otherwise the
+    :class:`LoadedUDF` is returned.
     """
     payload = definition.payload
     class_name = f"udf_{definition.name}"
@@ -77,12 +78,14 @@ def load_sandbox_payload(
     load_name = definition.name.lower()
     if probe_only:
         load_name = f"__probe_{load_name}"
+    # None quotas inherit the VM's QuotaPolicy; explicit registration
+    # values derive a per-UDF policy without touching anything shared.
     loaded = vm.load_udf(
         name=load_name,
         classfiles=[classfile],
         permissions=Permissions(callbacks=frozenset(definition.callbacks)),
-        fuel=definition.fuel or DEFAULT_FUEL,
-        memory=definition.memory or DEFAULT_MEMORY,
+        fuel=definition.fuel,
+        memory=definition.memory,
     )
     entry = definition.entry
     func = loaded.main_class.functions.get(entry)
@@ -105,7 +108,10 @@ def load_sandbox_payload(
         )
     if probe_only:
         vm.unload_udf(load_name)
-        return getattr(func, "summary", None)
+        return (
+            getattr(func, "summary", None),
+            getattr(func, "certificate", None),
+        )
     return loaded
 
 
@@ -124,6 +130,29 @@ class SandboxExecutor(UDFExecutor):
         self._loaded = existing or load_sandbox_payload(definition, env)
         self._use_jit = use_jit
         self._context = None
+        self._reservation = None
+
+    def _admission_claim(self) -> tuple:
+        """Per-invocation worst case to reserve against the group budget.
+
+        The certified constant bound is the tight claim; argument-
+        dependent or absent bounds fall back to the full account quota
+        (the runtime meter's own cap, so the claim is always sound).
+        """
+        from ..analysis.bounds import constant_bound
+
+        policy = self._loaded.policy
+        fuel_claim, mem_claim = policy.fuel, policy.memory
+        entry = self._loaded.main_class.functions.get(self.definition.entry)
+        cert = getattr(entry, "certificate", None)
+        if cert is not None:
+            fuel_const = constant_bound(cert.fuel_bound)
+            if fuel_const is not None:
+                fuel_claim = min(fuel_claim, fuel_const)
+            mem_const = constant_bound(cert.mem_bound)
+            if mem_const is not None:
+                mem_claim = min(mem_claim, mem_const)
+        return fuel_claim, mem_claim
 
     def begin_query(self, binding=None) -> None:
         super().begin_query(binding)
@@ -138,9 +167,14 @@ class SandboxExecutor(UDFExecutor):
             # Join the UDF's thread group: if the DBA kills the group,
             # this query's account is revoked and the UDF dies at its
             # next fuel check.
-            registry.group_for(self.definition.name.lower()).adopt_account(
-                self._context.account
-            )
+            group = registry.group_for(self.definition.name.lower())
+            group.adopt_account(self._context.account)
+            # Admission control: reserve the worst case this query's
+            # invocations can consume; a claim that cannot fit the
+            # group's remaining budget is refused before any tuple runs.
+            fuel_claim, mem_claim = self._admission_claim()
+            group.reserve(fuel_claim, mem_claim)
+            self._reservation = (group, fuel_claim, mem_claim)
 
     def invoke(self, args: Sequence[object]) -> object:
         if self._context is None:
@@ -159,6 +193,10 @@ class SandboxExecutor(UDFExecutor):
     def end_query(self) -> None:
         super().end_query()
         self._context = None
+        if self._reservation is not None:
+            group, fuel_claim, mem_claim = self._reservation
+            self._reservation = None
+            group.release(fuel_claim, mem_claim)
 
     def close(self) -> None:
         super().close()

@@ -91,7 +91,10 @@ class UDFDefinition:
     registry fills it with analyzer-derived estimates for sandboxed
     designs (native code cannot be analyzed and falls back to defaults).
     ``analysis`` holds the entry function's static summary
-    (:class:`~repro.analysis.effects.FunctionSummary`) once validated.
+    (:class:`~repro.analysis.effects.FunctionSummary`) once validated;
+    ``certificate`` its resource certificate
+    (:class:`~repro.analysis.bounds.ResourceCertificate`), when the
+    bounds pass could prove anything.
     """
 
     name: str
@@ -104,6 +107,7 @@ class UDFDefinition:
     fuel: Optional[int] = None
     memory: Optional[int] = None
     analysis: Optional[object] = field(default=None, compare=False)
+    certificate: Optional[object] = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         if not self.name.isidentifier():
@@ -184,12 +188,14 @@ class UDFRegistry:
         # cost hints are derived when the registration declared none.
         from .factory import validate_definition
 
-        summary = validate_definition(definition, self.environment)
+        probe = validate_definition(definition, self.environment)
+        summary, certificate = probe if probe is not None else (None, None)
         definition.analysis = summary
+        definition.certificate = certificate
         if definition.cost is None and summary is not None:
             from ..analysis.costs import derive_cost_hints
 
-            definition.cost = derive_cost_hints(summary)
+            definition.cost = derive_cost_hints(summary, certificate)
         self._definitions[key] = definition
 
     def unregister(self, name: str) -> None:

@@ -139,8 +139,26 @@ class FuelExhausted(ResourceExhausted):
     """The instruction (CPU) quota ran out."""
 
 
+class AccountRevoked(FuelExhausted):
+    """The account was revoked (kill-by-owner, not a runaway loop).
+
+    A subclass of :class:`FuelExhausted` so existing handlers keep
+    working, but distinguishable: EXPLAIN/audit can tell a thread-group
+    kill apart from a UDF that genuinely burned its own budget.
+    """
+
+
 class MemoryQuotaExceeded(ResourceExhausted):
     """The allocation (heap) quota ran out."""
+
+
+class AdmissionRefused(ResourceExhausted):
+    """Admission control refused an invocation before it started.
+
+    Raised when a certified worst-case claim cannot fit the thread
+    group's remaining budget — the invocation is rejected (or queued)
+    up front instead of being killed mid-flight.
+    """
 
 
 # ---------------------------------------------------------------------------

@@ -162,6 +162,9 @@ class DatabaseServer:
         )
         design = Design(design_name)
         session.check_design_allowed(design)
+        # A session-level QuotaPolicy caps this session's registrations;
+        # None inherits the server VM's default policy at load time.
+        policy = session.policy
         definition = UDFDefinition(
             name=name,
             signature=UDFSignature(tuple(params), ret),
@@ -172,6 +175,8 @@ class DatabaseServer:
             # The wire protocol carries no hints; the analyzer derives
             # them from the (re-verified) payload at registration.
             cost=None,
+            fuel=policy.fuel if policy is not None else None,
+            memory=policy.memory if policy is not None else None,
         )
         with self._lock:
             # The payload may be classfile bytes compiled at the client;

@@ -14,10 +14,11 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import FrozenSet
+from typing import FrozenSet, Optional
 
 from ..core.designs import Design
 from ..errors import AuthError
+from ..vm.resources import QuotaPolicy
 
 #: Designs any (untrusted, web-style) client may use.
 UNTRUSTED_DESIGNS: FrozenSet[Design] = frozenset(
@@ -41,6 +42,11 @@ class Session:
     session_id: int = field(default_factory=lambda: next(_session_ids))
     statements: int = 0
     udfs_registered: int = 0
+    #: Optional per-session quota override: UDFs registered through this
+    #: session are capped to this policy instead of the server-wide
+    #: default.  A derived :class:`QuotaPolicy` object — never a mutated
+    #: global — so two sessions with different caps coexist safely.
+    policy: Optional[QuotaPolicy] = None
 
     def check_design_allowed(self, design: Design) -> None:
         if self.trusted or design in UNTRUSTED_DESIGNS:

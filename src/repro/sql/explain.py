@@ -104,11 +104,22 @@ def _annotate(expr: A.Expr, oracle: Optional[object]) -> str:
         hints = definition.cost_hints
         purity = "pure" if definition.is_pure else "impure"
         origin = "derived" if hints.derived else "declared"
-        notes.append(
+        note = (
             f"udf {definition.name}: {purity}, "
             f"cost≈{hints.cost_per_call:.0f} ({origin}), "
             f"sel={hints.selectivity:.2f}"
         )
+        cert = getattr(definition, "certificate", None)
+        if cert is not None and (
+            cert.fuel_bound is not None or cert.mem_bound is not None
+        ):
+            from ..analysis.intervals import describe_bound
+
+            note += (
+                f", bounded(fuel≤{describe_bound(cert.fuel_bound)}, "
+                f"mem≤{describe_bound(cert.mem_bound)})"
+            )
+        notes.append(note)
     if not notes:
         return ""
     return "  -- " + "; ".join(notes)

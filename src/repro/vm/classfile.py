@@ -96,6 +96,15 @@ class FunctionDef:
     max_stack: int = 0
     stack_in: Optional[Tuple[int, ...]] = None
     summary: Optional[object] = None
+    #: ResourceCertificate from the load-time bounds certifier; like
+    #: ``summary``, never serialized — recomputed on every load.
+    certificate: Optional[object] = None
+    #: Interpreter dispatch cache: ``code`` decoded to ``(op, arg)``
+    #: tuples, built lazily on first execution.  Pure derivation of
+    #: ``code`` (which is immutable), so it never needs invalidation.
+    dispatch: Optional[Tuple] = field(
+        default=None, compare=False, repr=False
+    )
 
     def __post_init__(self) -> None:
         if len(self.local_types) < len(self.param_types):
@@ -130,6 +139,9 @@ class ClassFile:
     #: Class-level effect rollup (analysis.effects.ClassSummary), set by
     #: the load-time analyzer; never serialized.
     analysis: Optional[object] = None
+    #: Class-level resource rollup (analysis.bounds.ClassCertificates),
+    #: set by the load-time certifier; never serialized.
+    certificates: Optional[object] = None
 
     def add_function(self, func: FunctionDef) -> None:
         if func.name in self.functions:
@@ -137,6 +149,7 @@ class ClassFile:
         self.functions[func.name] = func
         self.verified = False
         self.analysis = None
+        self.certificates = None
 
     def pool_index(self, entry: PoolEntry) -> int:
         """Intern ``entry``, returning its pool index."""

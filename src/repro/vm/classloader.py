@@ -105,12 +105,16 @@ class ClassLoader:
         return cls
 
     def _analyze(self, cls: ClassFile) -> None:
-        """Attach load-time effect/cost summaries (``cls.analysis``).
+        """Attach load-time summaries and resource certificates.
 
         Runs right after verification, while the class is visible to this
         loader, so cross-class CALL effects resolve parent-first exactly
-        like the verifier's signature resolution did.
+        like the verifier's signature resolution did.  The certifier runs
+        second: its transitive fuel/memory bounds substitute callee
+        certificates at call sites, which the effect pass has just made
+        resolvable.
         """
+        from ..analysis.bounds import certify_class
         from ..analysis.effects import analyze_class
 
         def foreign_summary(class_name: str, func_name: str):
@@ -120,7 +124,16 @@ class ClassLoader:
                 return None
             return getattr(func, "summary", None)
 
+        def foreign_certificate(class_name: str, func_name: str):
+            try:
+                __, func = self.resolve_function(class_name, func_name)
+            except LinkError:  # pragma: no cover - verifier linked eagerly
+                return None
+            return getattr(func, "certificate", None)
+
         analyze_class(cls, foreign_summary=foreign_summary)
+        certify_class(cls, resolver=self._resolver(),
+                      foreign_certificate=foreign_certificate)
 
     def _resolver(self) -> Resolver:
         def function_signature(class_name: str, func_name: str) -> Signature:

@@ -49,6 +49,16 @@ _WRAP = "((({x}) + 0x8000000000000000 & 0xFFFFFFFFFFFFFFFF) - 0x8000000000000000
 _ATOM_RE = re.compile(r"[A-Za-z_][A-Za-z_0-9]*|-?\d+")
 
 
+def _jit_atom_expr(atom: str) -> str:
+    """Render a certificate atom against the jitted parameter names."""
+    if atom.startswith("len"):
+        return f"len(L{atom[3:]})"
+    if atom.startswith("pos"):
+        i = atom[3:]
+        return f"(L{i} if L{i} > 0 else 0)"
+    raise ValueError(f"unknown certificate atom {atom!r}")
+
+
 def _oob(index: int, length: int):
     raise BoundsError(f"array index {index} out of range [0, {length})")
 
@@ -382,6 +392,24 @@ def _translate(
         out.append(f"    ({names}{trailing}) = __args")
     for i, t in enumerate(func.local_types[nparams:], start=nparams):
         out.append(f"    L{i} = {default_value(t)!r}")
+    # Certified-bound prologue: when the static certifier proved a fuel
+    # bound for this method (callees excluded — they charge their own
+    # prologue), pay the whole worst case once and skip the per-block
+    # meter.  Falls back to dynamic metering when the bound does not fit
+    # the remaining quota or the account was revoked before entry.
+    cert = getattr(func, "certificate", None)
+    local_bound = getattr(cert, "local_fuel_bound", None)
+    if local_bound is not None:
+        expr = local_bound.as_python(_jit_atom_expr)
+        out.append("    if __acct.revoked:")
+        out.append("        __meter = True")
+        out.append("    else:")
+        out.append(f"        __b = {expr}")
+        out.append("        __meter = __b > __acct.fuel")
+        out.append("        if not __meter:")
+        out.append("            __acct.fuel -= __b")
+    else:
+        out.append("    __meter = True")
     out.append("    __pc = 0")
     out.append("    while True:")
 
@@ -399,8 +427,9 @@ def _translate(
         first = False
         out.append(f"        {keyword} __pc == {start}:")
         fuel_units = end - start
-        out.append(f"            __acct.fuel -= {fuel_units}")
-        out.append("            if __acct.fuel < 0: __acct.out_of_fuel()")
+        out.append("            if __meter:")
+        out.append(f"                __acct.fuel -= {fuel_units}")
+        out.append("                if __acct.fuel < 0: __acct.out_of_fuel()")
         for line in writer.lines:
             out.append(f"            {line}")
     source = "\n".join(out) + "\n"

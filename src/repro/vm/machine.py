@@ -21,12 +21,7 @@ from .classfile import ClassFile
 from .classloader import SystemClassLoader, UDFClassLoader
 from .interpreter import ExecutionContext, run_function
 from .jit import JitCompiler, invoke_jit
-from .resources import (
-    DEFAULT_FUEL,
-    DEFAULT_MAX_DEPTH,
-    DEFAULT_MEMORY,
-    ResourceAccount,
-)
+from .resources import DEFAULT_POLICY, QuotaPolicy, ResourceAccount
 from .security import Permissions, SecurityManager, Signature
 
 
@@ -41,9 +36,7 @@ class LoadedUDF:
         security: SecurityManager,
         callbacks: Dict[str, Callable],
         use_jit: bool,
-        fuel: int,
-        memory: int,
-        max_depth: int,
+        policy: QuotaPolicy,
     ):
         self.name = name
         self.loader = loader
@@ -51,16 +44,26 @@ class LoadedUDF:
         self.security = security
         self.callbacks = callbacks
         self.use_jit = use_jit
-        self.fuel = fuel
-        self.memory = memory
-        self.max_depth = max_depth
+        self.policy = policy
         self._jit = JitCompiler(loader.resolve_class)
+
+    # Kept as properties: a lot of code (and tests) reads the quota off
+    # the loaded UDF directly.
+    @property
+    def fuel(self) -> int:
+        return self.policy.fuel
+
+    @property
+    def memory(self) -> int:
+        return self.policy.memory
+
+    @property
+    def max_depth(self) -> int:
+        return self.policy.max_depth
 
     def new_account(self) -> ResourceAccount:
         """A fresh quota for one invocation."""
-        return ResourceAccount(
-            fuel=self.fuel, memory=self.memory, max_depth=self.max_depth
-        )
+        return self.policy.account()
 
     def make_context(
         self,
@@ -114,6 +117,7 @@ class JaguarVM:
         self,
         callback_signatures: Optional[Dict[str, Signature]] = None,
         use_jit: bool = True,
+        policy: QuotaPolicy = DEFAULT_POLICY,
     ):
         if callback_signatures is None:
             from ..core.callbacks import standard_callback_signatures
@@ -121,6 +125,7 @@ class JaguarVM:
             callback_signatures = standard_callback_signatures()
         self.callback_signatures = callback_signatures
         self.use_jit = use_jit
+        self.policy = policy
         self.system_loader = SystemClassLoader(callback_signatures)
         self._udfs: Dict[str, LoadedUDF] = {}
 
@@ -135,16 +140,21 @@ class JaguarVM:
         main_class: Optional[str] = None,
         permissions: Optional[Permissions] = None,
         callbacks: Optional[Dict[str, Callable]] = None,
-        fuel: int = DEFAULT_FUEL,
-        memory: int = DEFAULT_MEMORY,
-        max_depth: int = DEFAULT_MAX_DEPTH,
+        fuel: Optional[int] = None,
+        memory: Optional[int] = None,
+        max_depth: Optional[int] = None,
     ) -> LoadedUDF:
         """Load (decode, verify, link) a UDF into its own namespace.
 
         ``classfiles`` are admitted in order, so dependencies come first
         and the main class last; ``main_class`` defaults to the last one
-        admitted.
+        admitted.  Quota arguments of ``None`` inherit the VM's
+        :class:`QuotaPolicy`; explicit values derive a per-UDF policy
+        without touching anything shared.
         """
+        policy = self.policy.with_overrides(
+            fuel=fuel, memory=memory, max_depth=max_depth
+        )
         if name in self._udfs:
             raise LinkError(f"UDF {name!r} is already loaded")
         if not classfiles:
@@ -174,6 +184,17 @@ class JaguarVM:
                 security.check_static_effects(
                     rollup.callbacks, rollup.natives, where=cls.name
                 )
+        # Static resource-bound gate (certifier rollup from define_class):
+        # a class whose *proven minimum* fuel or heap consumption already
+        # exceeds the quota can never complete a single invocation — it
+        # would only ever burn its whole budget and die.  Reject it here,
+        # with a static:bounds audit trail, instead of at run time.
+        for cls in admitted:
+            certificates = getattr(cls, "certificates", None)
+            if certificates is not None:
+                security.check_resource_bounds(
+                    certificates, policy.fuel, policy.memory, where=cls.name
+                )
         udf = LoadedUDF(
             name=name,
             loader=loader,
@@ -181,9 +202,7 @@ class JaguarVM:
             security=security,
             callbacks=callbacks or {},
             use_jit=self.use_jit,
-            fuel=fuel,
-            memory=memory,
-            max_depth=max_depth,
+            policy=policy,
         )
         self._udfs[name] = udf
         return udf

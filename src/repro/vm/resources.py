@@ -25,13 +25,65 @@ at its next check, which is how thread-group termination is implemented.
 
 from __future__ import annotations
 
-from ..errors import FuelExhausted, MemoryQuotaExceeded, StackOverflowFault
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from ..errors import (
+    AccountRevoked,
+    FuelExhausted,
+    MemoryQuotaExceeded,
+    StackOverflowFault,
+)
 
 #: Defaults are generous for benchmark UDFs yet small enough that a
 #: runaway loop dies in well under a second.
 DEFAULT_FUEL = 500_000_000
 DEFAULT_MEMORY = 64 * 1024 * 1024
 DEFAULT_MAX_DEPTH = 256
+
+
+@dataclass(frozen=True)
+class QuotaPolicy:
+    """The quota configuration of one VM / session / registration.
+
+    Historically the defaults above were read straight off the module at
+    every call site, so a per-session override meant mutating globals.
+    A policy object threads through instead: the VM holds one, sessions
+    and registrations derive narrowed copies with :meth:`with_overrides`,
+    and nothing global ever changes.
+    """
+
+    fuel: int = DEFAULT_FUEL
+    memory: int = DEFAULT_MEMORY
+    max_depth: int = DEFAULT_MAX_DEPTH
+
+    def __post_init__(self) -> None:
+        if self.fuel <= 0 or self.memory <= 0 or self.max_depth <= 0:
+            raise ValueError("quota policy values must be positive")
+
+    def with_overrides(
+        self,
+        fuel: Optional[int] = None,
+        memory: Optional[int] = None,
+        max_depth: Optional[int] = None,
+    ) -> "QuotaPolicy":
+        """A derived policy; ``None`` keeps the current value."""
+        return replace(
+            self,
+            fuel=fuel if fuel is not None else self.fuel,
+            memory=memory if memory is not None else self.memory,
+            max_depth=max_depth if max_depth is not None else self.max_depth,
+        )
+
+    def account(self) -> "ResourceAccount":
+        """A fresh account funded to this policy's quotas."""
+        return ResourceAccount(
+            fuel=self.fuel, memory=self.memory, max_depth=self.max_depth
+        )
+
+
+#: The process-wide default policy (immutable; derive, don't mutate).
+DEFAULT_POLICY = QuotaPolicy()
 
 
 class ResourceAccount:
@@ -76,7 +128,7 @@ class ResourceAccount:
     def out_of_fuel(self) -> None:
         """Raise the error for an empty (or revoked) fuel tank."""
         if self.revoked:
-            raise FuelExhausted("execution revoked by thread-group owner")
+            raise AccountRevoked("execution revoked by thread-group owner")
         raise FuelExhausted(
             f"instruction quota of {self.fuel_limit} exhausted"
         )

@@ -147,6 +147,47 @@ class SecurityManager:
                     f"{name!r} outside its permissions; rejected at load"
                 )
 
+    def check_resource_bounds(
+        self,
+        certificates,
+        fuel: int,
+        memory: int,
+        where: Optional[str] = None,
+    ) -> None:
+        """Load-time gate over *proven minimum* resource consumption.
+
+        ``certificates`` is an ``analysis.bounds.ClassCertificates``
+        rollup.  A function whose certified minimum fuel or heap already
+        exceeds the account quota can never complete successfully — every
+        run would die on FuelExhausted/MemoryQuotaExceeded after burning
+        its whole budget.  Rejecting it at CREATE FUNCTION turns that
+        guaranteed runtime death into a load failure the owner sees
+        immediately (and the audit log records as ``static:bounds``).
+        """
+        subject = where or self.class_name
+        for name in sorted(certificates.functions):
+            cert = certificates.functions[name]
+            over_fuel = not self.allow_all and cert.min_fuel > fuel
+            over_mem = not self.allow_all and cert.min_memory > memory
+            allowed = not (over_fuel or over_mem)
+            self._record(
+                "static:bounds",
+                f"{name}: min_fuel={cert.min_fuel} min_mem={cert.min_memory}",
+                allowed,
+            )
+            if over_fuel:
+                raise SecurityViolation(
+                    f"UDF class {subject!r}: function {name!r} provably "
+                    f"consumes ≥ {cert.min_fuel} fuel but the quota is "
+                    f"{fuel}; rejected at load"
+                )
+            if over_mem:
+                raise SecurityViolation(
+                    f"UDF class {subject!r}: function {name!r} provably "
+                    f"allocates ≥ {cert.min_memory} bytes but the quota "
+                    f"is {memory}; rejected at load"
+                )
+
     def denials(self) -> List[AuditRecord]:
         """All denied actions, for the DBA's forensic queries."""
         return [r for r in self.audit_log if not r.allowed]

@@ -17,19 +17,38 @@ from __future__ import annotations
 import threading
 from typing import Callable, Dict, List, Optional
 
-from ..errors import SecurityViolation, VMError
+from ..errors import AdmissionRefused, SecurityViolation, VMError
 from .resources import ResourceAccount
 
 
 class ThreadGroup:
-    """The threads and accounts belonging to one UDF."""
+    """The threads and accounts belonging to one UDF.
 
-    def __init__(self, name: str):
+    A group may carry *budgets* — caps on the summed worst-case fuel and
+    memory of its concurrently admitted queries.  Callers reserve their
+    certified worst case (or their full account quota when no static
+    bound exists) before running; a claim that cannot fit is refused (or
+    queued) up front via :class:`~repro.errors.AdmissionRefused`, rather
+    than admitted and killed mid-flight.  Budgets of ``None`` (the
+    default) disable admission control entirely.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        fuel_budget: Optional[int] = None,
+        memory_budget: Optional[int] = None,
+    ):
         self.name = name
         self._lock = threading.Lock()
+        self._admission = threading.Condition(self._lock)
         self._accounts: List[ResourceAccount] = []
         self._threads: List[threading.Thread] = []
         self._killed = False
+        self.fuel_budget = fuel_budget
+        self.memory_budget = memory_budget
+        self._fuel_reserved = 0
+        self._memory_reserved = 0
 
     def adopt_account(self, account: ResourceAccount) -> ResourceAccount:
         """Register an invocation's account with the group."""
@@ -38,6 +57,87 @@ class ThreadGroup:
                 account.revoke()
             self._accounts.append(account)
         return account
+
+    # -- admission control -------------------------------------------------
+
+    def _fits(self, fuel: int, memory: int) -> bool:
+        if self.fuel_budget is not None:
+            if self._fuel_reserved + fuel > self.fuel_budget:
+                return False
+        if self.memory_budget is not None:
+            if self._memory_reserved + memory > self.memory_budget:
+                return False
+        return True
+
+    def reserve(
+        self,
+        fuel: int,
+        memory: int,
+        wait: bool = False,
+        timeout: Optional[float] = None,
+    ) -> None:
+        """Claim worst-case resources for one query's invocations.
+
+        Raises :class:`AdmissionRefused` when the claim cannot fit the
+        remaining budget (immediately with ``wait=False``; after other
+        queries release without making room, with ``wait=True`` and a
+        ``timeout``).  A claim exceeding the *whole* budget is refused
+        outright — waiting could never admit it.
+        """
+        with self._admission:
+            if self._killed:
+                raise SecurityViolation(
+                    f"thread group {self.name!r} has been killed"
+                )
+            over_total = (
+                self.fuel_budget is not None and fuel > self.fuel_budget
+            ) or (
+                self.memory_budget is not None
+                and memory > self.memory_budget
+            )
+            if over_total:
+                raise AdmissionRefused(
+                    f"thread group {self.name!r}: claim of {fuel} fuel / "
+                    f"{memory} bytes exceeds the group budget outright"
+                )
+            if not self._fits(fuel, memory):
+                if not wait:
+                    raise AdmissionRefused(
+                        f"thread group {self.name!r}: claim of {fuel} fuel "
+                        f"/ {memory} bytes does not fit the remaining "
+                        f"budget"
+                    )
+                admitted = self._admission.wait_for(
+                    lambda: self._killed or self._fits(fuel, memory),
+                    timeout=timeout,
+                )
+                if self._killed:
+                    raise SecurityViolation(
+                        f"thread group {self.name!r} has been killed"
+                    )
+                if not admitted:
+                    raise AdmissionRefused(
+                        f"thread group {self.name!r}: claim of {fuel} fuel "
+                        f"/ {memory} bytes still does not fit after "
+                        f"waiting {timeout}s"
+                    )
+            self._fuel_reserved += fuel
+            self._memory_reserved += memory
+
+    def release(self, fuel: int, memory: int) -> None:
+        """Return a reservation; wakes queued :meth:`reserve` callers."""
+        with self._admission:
+            self._fuel_reserved = max(0, self._fuel_reserved - fuel)
+            self._memory_reserved = max(0, self._memory_reserved - memory)
+            self._admission.notify_all()
+
+    @property
+    def reserved(self) -> dict:
+        with self._lock:
+            return {
+                "fuel": self._fuel_reserved,
+                "memory": self._memory_reserved,
+            }
 
     def spawn(
         self,
@@ -79,9 +179,10 @@ class ThreadGroup:
     def kill(self) -> None:
         """Revoke every member account; running invocations die at their
         next fuel check, and no new threads may be spawned."""
-        with self._lock:
+        with self._admission:
             self._killed = True
             accounts = list(self._accounts)
+            self._admission.notify_all()  # unblock queued reservations
         for account in accounts:
             account.revoke()
 
@@ -115,6 +216,20 @@ class ThreadGroupRegistry:
                 group = ThreadGroup(udf_name)
                 self._groups[udf_name] = group
             return group
+
+    def set_budget(
+        self,
+        udf_name: str,
+        fuel: Optional[int] = None,
+        memory: Optional[int] = None,
+    ) -> ThreadGroup:
+        """Configure (or clear, with None) a UDF group's admission budget."""
+        group = self.group_for(udf_name)
+        with group._admission:
+            group.fuel_budget = fuel
+            group.memory_budget = memory
+            group._admission.notify_all()
+        return group
 
     def kill(self, udf_name: str) -> None:
         with self._lock:

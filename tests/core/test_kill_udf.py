@@ -8,10 +8,13 @@ import pytest
 from repro.errors import FuelExhausted
 
 
+# Input-dependent trip count: the static certifier cannot prove this
+# exceeds the fuel quota (x comes from the table), so it admits at load
+# and the kill switch gets exercised at run time as intended.
 SLOW_UDF = (
     "def slow(x: int) -> int:\n"
     "    s: int = 0\n"
-    "    for i in range(100000000):\n"
+    "    for i in range(x * 100000000):\n"
     "        s = s + 1\n"
     "    return s"
 )

@@ -136,11 +136,14 @@ class TestSFI:
 
 
 SPIN_SRC = b"def spin(x: int) -> int:\n    while True:\n        pass\n"
+# The allocation size depends on the argument, so the static certifier
+# cannot reject this at load — it must be killed by the runtime quota,
+# which is exactly what this scenario tests.
 BOMB_SRC = (
     b"def bomb(x: int) -> int:\n"
     b"    total: int = 0\n"
     b"    for i in range(1000000):\n"
-    b"        a: bytes = bytearray(1048576)\n"
+    b"        a: bytes = bytearray(x * 1048576)\n"
     b"        total = total + len(a)\n"
     b"    return total"
 )

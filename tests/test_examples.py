@@ -39,9 +39,13 @@ def test_malicious_example_reports_all_attacks_stopped():
         text=True,
         timeout=180,
     )
-    assert "All five attacks neutralized." in completed.stdout
+    assert "All six attacks neutralized." in completed.stdout
     assert "stopped" in completed.stdout
     assert "contained" in completed.stdout
+    # The provable allocation bomb must be refused at registration by
+    # the static bounds certifier, not killed mid-query.
+    assert "stopped at CREATE FUNCTION" in completed.stdout
+    assert "provably allocates" in completed.stdout
 
 
 def test_bench_cli_runs_table1():

@@ -10,7 +10,15 @@ import argparse
 import sys
 
 from ..core.designs import Design
-from .figures import run_fig4, run_fig5, run_fig6, run_fig7, run_fig8, run_table1
+from .figures import (
+    run_batching,
+    run_fig4,
+    run_fig5,
+    run_fig6,
+    run_fig7,
+    run_fig8,
+    run_table1,
+)
 from .harness import Timer
 from .report import render
 from .workload import BenchmarkWorkload
@@ -34,7 +42,12 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--figures", type=str, default="table1,4,5,6,7,8",
-        help="comma-separated subset, e.g. '5,8'",
+        help="comma-separated subset, e.g. '5,8' or 'batching'",
+    )
+    parser.add_argument(
+        "--batch-size", type=int, default=None,
+        help="executor batch size (rows per operator batch; default 64, "
+        "1 is tuple-at-a-time)",
     )
     args = parser.parse_args(argv)
     wanted = {piece.strip() for piece in args.figures.split(",")}
@@ -44,16 +57,23 @@ def main(argv=None) -> int:
         print(render(run_table1()))
         print()
 
-    numeric = wanted & {"4", "5", "6", "7", "8"}
+    numeric = wanted & {"4", "5", "6", "7", "8", "batching"}
     if not numeric:
         return 0
 
     print(
         f"building workload: cardinality={args.cardinality}, "
-        f"sizes=(1, 100, 10000) ...",
+        f"sizes=(1, 100, 10000)"
+        + (
+            f", batch_size={args.batch_size}"
+            if args.batch_size is not None else ""
+        )
+        + " ...",
         flush=True,
     )
-    with BenchmarkWorkload(cardinality=args.cardinality) as workload:
+    with BenchmarkWorkload(
+        cardinality=args.cardinality, batch_size=args.batch_size
+    ) as workload:
         kwargs = {}
         if args.invocations:
             kwargs["invocations"] = args.invocations
@@ -78,6 +98,10 @@ def main(argv=None) -> int:
             result = run_fig8(workload, timer=timer, **kwargs)
             print(render(result))
             print(render(result.relative_to(Design.NATIVE_INTEGRATED.paper_label)))
+            print()
+        if "batching" in wanted:
+            result = run_batching(workload, timer=timer, **kwargs)
+            print(render(result))
             print()
     return 0
 

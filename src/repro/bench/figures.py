@@ -170,6 +170,97 @@ def run_fig7(
     return result
 
 
+DEFAULT_BATCH_SWEEP = (1, 2, 8, 64)
+
+
+def run_batching(
+    workload: BenchmarkWorkload,
+    invocations: int = 1000,
+    batch_sizes: Sequence[int] = DEFAULT_BATCH_SWEEP,
+    designs: Sequence[Design] = PAPER_DESIGNS,
+    sizes: Optional[Sequence[int]] = None,
+    timer: Optional[Timer] = None,
+) -> ExperimentResult:
+    """Batched execution sweep: batch size × design × bytearray size.
+
+    Fig 5's no-op invocation-cost protocol, re-run at several executor
+    batch sizes over the same populated database (``db.batch_size`` is
+    mutated between sweeps and restored afterwards).  Base table-access
+    cost is measured per batch size too, since the scan itself also runs
+    batched.  For the isolated design, one instrumented batch per
+    configuration records the shared-memory channel's chunk/message
+    counters in ``meta["shm_stats"]``.
+    """
+    timer = timer or Timer()
+    invocations = min(invocations, workload.cardinality)
+    if sizes is None:
+        sizes = workload.sizes
+    result = ExperimentResult(
+        experiment="batching",
+        title="Batched execution: invocation cost vs batch size",
+        x_label="batch size",
+        meta={
+            "invocations": invocations,
+            "batch_sizes": list(batch_sizes),
+            "sizes": list(sizes),
+        },
+    )
+    shm_stats = {}
+    saved = workload.db.batch_size
+    try:
+        for batch in batch_sizes:
+            workload.db.batch_size = batch
+            base_cache: Dict[Tuple[int, int], float] = {}
+            for design in designs:
+                udf = workload.noop_names[design]
+                for size in sizes:
+                    cost = measure_udf_cost(
+                        workload, size, udf, invocations,
+                        timer=timer, base_cache=base_cache,
+                    )
+                    label = f"{design.paper_label} Rel{size}"
+                    result.add_point(label, batch, cost)
+            if any(d.is_isolated for d in designs):
+                for size in sizes:
+                    shm_stats[f"batch={batch},Rel{size}"] = (
+                        measure_shm_batch_stats(workload, size, batch)
+                    )
+    finally:
+        workload.db.batch_size = saved
+    result.meta["shm_stats"] = shm_stats
+    return result
+
+
+def measure_shm_batch_stats(
+    workload: BenchmarkWorkload, size: int, batch: int
+) -> Dict[str, int]:
+    """IPC traffic for one batched no-op invocation round (Design 2).
+
+    Spawns a fresh remote executor (so its buffer is pre-sized for the
+    current ``db.batch_size``), sends one batch of ``batch`` argument
+    tuples, and returns the server-side channel counters — the
+    chunk-per-message ratio shows whether the pre-sized buffer fits the
+    batch payload in a single hand-off.
+    """
+    from ..core.isolated import RemoteExecutor
+    from .workload import pattern_bytes
+
+    registry = workload.db.registry
+    name = workload.noop_names[Design.NATIVE_ISOLATED]
+    definition = registry.get(name)
+    executor = RemoteExecutor(definition, workload.db.environment)
+    try:
+        executor.begin_query()
+        args_list = [
+            (bytearray(pattern_bytes(size, row)), 0, 0, 0)
+            for row in range(batch)
+        ]
+        executor.invoke_batch(args_list)
+        return executor.channel_stats()
+    finally:
+        executor.close()
+
+
 def run_fig8(
     workload: BenchmarkWorkload,
     invocations: int = 200,

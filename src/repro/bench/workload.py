@@ -58,6 +58,7 @@ class BenchmarkWorkload:
         designs: Sequence[Design] = ALL_DESIGNS,
         use_generic: bool = True,
         path: Optional[str] = None,
+        batch_size: Optional[int] = None,
     ):
         self.cardinality = cardinality
         self.sizes = tuple(sizes)
@@ -65,11 +66,13 @@ class BenchmarkWorkload:
         # 16 KiB pages keep even the 10,000-byte arrays inline (see
         # module docstring); the buffer pool is sized to hold the
         # largest relation so repeated sweeps measure CPU, not I/O.
+        db_kwargs = {} if batch_size is None else {"batch_size": batch_size}
         self.db = Database(
             path=path,
             page_size=16384,
             buffer_capacity=4096,
             lob_threshold=12000,
+            **db_kwargs,
         )
         self._populate()
         self._register_udfs(use_generic)

@@ -48,6 +48,17 @@ class UDFExecutor(abc.ABC):
     def invoke(self, args: Sequence[object]) -> object:
         """Run the UDF once.  ``args`` are SQL values."""
 
+    def invoke_batch(self, args_list: Sequence[Sequence[object]]) -> list:
+        """Run the UDF once per argument tuple, in order.
+
+        The batch boundary is where each design amortizes its fixed
+        per-invocation costs (guard setup, VM entry, shm round-trips);
+        this default is the semantic contract the overrides must match —
+        one result per argument tuple, same order, first failure
+        propagates.
+        """
+        return [self.invoke(args) for args in args_list]
+
     def end_query(self) -> None:
         self.binding = None
 

@@ -83,3 +83,17 @@ class SFIExecutor(NativeIntegratedExecutor):
             for a in args
         ]
         return super().invoke(guarded)
+
+    def invoke_batch(self, args_list: Sequence[Sequence[object]]) -> list:
+        # Wrapping stays per-value (each call gets its own guarded
+        # region), but the dispatch overhead is paid once for the batch.
+        wrap = GuardedBytes
+        guarded_list = [
+            [
+                wrap(a) if isinstance(a, (bytes, bytearray, memoryview))
+                else a
+                for a in args
+            ]
+            for args in args_list
+        ]
+        return super().invoke_batch(guarded_list)

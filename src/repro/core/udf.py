@@ -254,3 +254,7 @@ class ServerEnvironment:
     #: adopt their per-query accounts into the UDF's group so a DBA can
     #: revoke a runaway UDF mid-query (Section 6.1's thread groups).
     thread_groups: Optional[object] = None
+    #: Executor batch size (rows per operator batch / ``invoke_batch``
+    #: call).  Isolated executors also use it to pre-size their shared
+    #: memory buffer for one batch per round trip.
+    batch_size: int = 64

@@ -44,6 +44,7 @@ from .storage.catalog import Catalog, TableInfo, UDFInfo
 from .storage.disk import DiskManager
 from .storage.heapfile import HeapFile
 from .storage.lob import LOBManager, LOBRef
+from .sql.operators import DEFAULT_BATCH_SIZE
 from .storage.record import ColumnType, serialize_record
 from .vm.machine import JaguarVM
 
@@ -63,6 +64,7 @@ class Database:
         buffer_capacity: int = 512,
         lob_threshold: int = DEFAULT_LOB_THRESHOLD,
         use_jit: bool = True,
+        batch_size: int = DEFAULT_BATCH_SIZE,
     ):
         self.path = path
         if path is None:
@@ -89,9 +91,26 @@ class Database:
             lobs=self.lobs,
             thread_groups=self.thread_groups,
         )
+        self.batch_size = batch_size
         self.registry = UDFRegistry(self.environment)
         self._executor = StatementExecutor(self)
         self._reload_udfs()
+
+    @property
+    def batch_size(self) -> int:
+        """Rows per executor batch; 1 is exact tuple-at-a-time.
+
+        Mutable at runtime (``db.batch_size = 256``) — the next query
+        picks it up, which is how the benchmark sweeps batch sizes over
+        one populated database.
+        """
+        return self.environment.batch_size
+
+    @batch_size.setter
+    def batch_size(self, value: int) -> None:
+        if value < 1:
+            raise ValueError(f"batch_size must be >= 1, got {value}")
+        self.environment.batch_size = int(value)
 
     # -- SQL entry points ------------------------------------------------------
 

@@ -203,7 +203,7 @@ class StatementExecutor:
         try:
             plan = plan_select(statement.select, self.db.catalog, resolver)
             plan = optimize(plan, oracle)
-            lines = explain_plan(plan, oracle)
+            lines = explain_plan(plan, oracle, batch_size=self.db.batch_size)
         finally:
             resolver.finish()
         return QueryResult(
@@ -219,6 +219,7 @@ class StatementExecutor:
         runtime: QueryRuntime,
     ) -> PhysicalOp:
         pool = self.db.pool
+        batch_size = self.db.batch_size
 
         def compile_all(exprs, schema):
             return [compile_expr(e, schema, resolver, runtime) for e in exprs]
@@ -229,22 +230,29 @@ class StatementExecutor:
                 return IndexScan(
                     pool, plan.table_info, plan.index,
                     plan.index_lo, plan.index_hi, predicates,
+                    batch_size=batch_size,
                 )
-            return SeqScan(pool, plan.table_info, predicates)
+            return SeqScan(
+                pool, plan.table_info, predicates, batch_size=batch_size
+            )
         if isinstance(plan, LogicalJoin):
             left = self._physical(plan.left, resolver, runtime)
             right = self._physical(plan.right, resolver, runtime)
             predicates = compile_all(plan.predicates, plan.schema)
-            return NestedLoopJoin(left, right, predicates)
+            return NestedLoopJoin(
+                left, right, predicates, batch_size=batch_size
+            )
         if isinstance(plan, LogicalFilter):
             child = self._physical(plan.child, resolver, runtime)
             return Filter(
-                child, compile_all(plan.predicates, plan.child.schema)
+                child, compile_all(plan.predicates, plan.child.schema),
+                batch_size=batch_size,
             )
         if isinstance(plan, LogicalProject):
             child = self._physical(plan.child, resolver, runtime)
             return Project(
-                child, compile_all(plan.exprs, plan.child.schema)
+                child, compile_all(plan.exprs, plan.child.schema),
+                batch_size=batch_size,
             )
         if isinstance(plan, LogicalAggregate):
             child = self._physical(plan.child, resolver, runtime)
@@ -263,16 +271,24 @@ class StatementExecutor:
                 )
                 for spec in plan.aggregates
             ]
-            return Aggregate(child, group_fns, agg_specs)
+            return Aggregate(
+                child, group_fns, agg_specs, batch_size=batch_size
+            )
         if isinstance(plan, LogicalDistinct):
-            return Distinct(self._physical(plan.child, resolver, runtime))
+            return Distinct(
+                self._physical(plan.child, resolver, runtime),
+                batch_size=batch_size,
+            )
         if isinstance(plan, LogicalSort):
             child = self._physical(plan.child, resolver, runtime)
             key_fns = compile_all(plan.keys, plan.child.schema)
-            return Sort(child, key_fns, plan.descending)
+            return Sort(
+                child, key_fns, plan.descending, batch_size=batch_size
+            )
         if isinstance(plan, LogicalLimit):
             return Limit(
-                self._physical(plan.child, resolver, runtime), plan.limit
+                self._physical(plan.child, resolver, runtime), plan.limit,
+                batch_size=batch_size,
             )
         raise ExecutionError(f"no physical operator for {type(plan).__name__}")
 

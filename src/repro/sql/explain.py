@@ -77,15 +77,19 @@ def render_expr(expr: A.Expr) -> str:
 
 
 def explain_plan(
-    plan: LogicalPlan, oracle: Optional[object] = None
+    plan: LogicalPlan,
+    oracle: Optional[object] = None,
+    batch_size: Optional[int] = None,
 ) -> List[str]:
     """One indented line per plan node, root first.
 
     ``oracle`` (a :class:`~repro.sql.optimizer.CostOracle`) enables the
-    per-predicate UDF purity/cost annotations.
+    per-predicate UDF purity/cost annotations.  ``batch_size`` (the
+    executor setting the plan would run with) annotates every operator
+    with its effective batch size so plans are auditable.
     """
     lines: List[str] = []
-    _render(plan, 0, lines, oracle)
+    _render(plan, 0, lines, oracle, batch_size)
     return lines
 
 
@@ -130,8 +134,12 @@ def _render(
     depth: int,
     lines: List[str],
     oracle: Optional[object] = None,
+    batch_size: Optional[int] = None,
 ) -> None:
     pad = "  " * depth
+    # The effective batch size the executor would run this operator at,
+    # appended to every operator head line so plans are auditable.
+    tag = f" [batch={batch_size}]" if batch_size is not None else ""
     if isinstance(plan, LogicalScan):
         if plan.index is not None:
             bounds = f"[{plan.index_lo}..{plan.index_hi}]"
@@ -139,7 +147,7 @@ def _render(
                     f"USING {plan.index.name} {bounds}")
         else:
             head = f"SeqScan {plan.table_name} AS {plan.alias}"
-        lines.append(pad + head)
+        lines.append(pad + head + tag)
         for position, predicate in enumerate(plan.predicates):
             lines.append(
                 f"{pad}  filter[{position}]: {render_expr(predicate)}"
@@ -147,17 +155,17 @@ def _render(
             )
         return
     if isinstance(plan, LogicalJoin):
-        lines.append(pad + "NestedLoopJoin")
+        lines.append(pad + "NestedLoopJoin" + tag)
         for position, predicate in enumerate(plan.predicates):
             lines.append(
                 f"{pad}  on[{position}]: {render_expr(predicate)}"
                 f"{_annotate(predicate, oracle)}"
             )
-        _render(plan.left, depth + 1, lines, oracle)
-        _render(plan.right, depth + 1, lines, oracle)
+        _render(plan.left, depth + 1, lines, oracle, batch_size)
+        _render(plan.right, depth + 1, lines, oracle, batch_size)
         return
     if isinstance(plan, LogicalFilter):
-        lines.append(pad + "Filter")
+        lines.append(pad + "Filter" + tag)
         for position, predicate in enumerate(plan.predicates):
             lines.append(
                 f"{pad}  filter[{position}]: {render_expr(predicate)}"
@@ -168,26 +176,26 @@ def _render(
             f"{render_expr(expr)} AS {name}"
             for expr, name in zip(plan.exprs, plan.names)
         )
-        lines.append(pad + f"Project [{rendered}]")
+        lines.append(pad + f"Project [{rendered}]" + tag)
     elif isinstance(plan, LogicalAggregate):
         groups = ", ".join(render_expr(e) for e in plan.group_exprs)
         aggs = ", ".join(
             f"{spec.func}({render_expr(spec.arg) if spec.arg else '*'})"
             for spec in plan.aggregates
         )
-        lines.append(pad + f"Aggregate groups=[{groups}] aggs=[{aggs}]")
+        lines.append(pad + f"Aggregate groups=[{groups}] aggs=[{aggs}]" + tag)
     elif isinstance(plan, LogicalDistinct):
-        lines.append(pad + "Distinct")
+        lines.append(pad + "Distinct" + tag)
     elif isinstance(plan, LogicalSort):
         keys = ", ".join(
             f"{render_expr(key)} {'DESC' if desc else 'ASC'}"
             for key, desc in zip(plan.keys, plan.descending)
         )
-        lines.append(pad + f"Sort [{keys}]")
+        lines.append(pad + f"Sort [{keys}]" + tag)
     elif isinstance(plan, LogicalLimit):
-        lines.append(pad + f"Limit {plan.limit}")
+        lines.append(pad + f"Limit {plan.limit}" + tag)
     else:
         lines.append(pad + type(plan).__name__)
     child = getattr(plan, "child", None)
     if child is not None:
-        _render(child, depth + 1, lines, oracle)
+        _render(child, depth + 1, lines, oracle, batch_size)

@@ -17,7 +17,7 @@ measures.
 from __future__ import annotations
 
 import re
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import ExecutionError, PlanError
 from ..storage.lob import LOBRef
@@ -29,6 +29,39 @@ EvalFn = Callable[[Sequence[object]], object]
 #: Aggregate function names (handled by the Aggregate operator, never
 #: compiled as scalar calls).
 AGGREGATE_NAMES = frozenset({"count", "sum", "avg", "min", "max"})
+
+
+def eval_batch(fn: EvalFn, rows: Sequence[Sequence[object]]) -> List[object]:
+    """Evaluate a compiled expression over a batch of rows.
+
+    Expressions that carry a vectorized entry point (``fn.eval_batch``)
+    — UDF call sites and the operators composed over them — evaluate the
+    whole batch at once, amortizing per-invocation overhead; everything
+    else falls back to one Python-level loop over the per-row closure.
+    """
+    batch_fn = getattr(fn, "eval_batch", None)
+    if batch_fn is not None:
+        return batch_fn(rows)
+    return [fn(row) for row in rows]
+
+
+def _attach_batch(fn: EvalFn, children: Sequence[EvalFn],
+                  combine: Callable) -> EvalFn:
+    """Give ``fn`` a batch entry point when any child has one.
+
+    ``combine`` maps one value per child to the node's result.  Plain
+    column/literal trees stay un-annotated so the scalar fast path is
+    untouched; only trees that actually contain a batchable node (a UDF
+    call site) grow the vectorized form.
+    """
+    if any(getattr(child, "eval_batch", None) is not None
+           for child in children):
+        def batch(rows):
+            columns = [eval_batch(child, rows) for child in children]
+            return [combine(*values) for values in zip(*columns)]
+
+        fn.eval_batch = batch
+    return fn
 
 
 class QueryRuntime:
@@ -122,6 +155,81 @@ class UDFCallSite:
         memo[key] = result
         return result
 
+    def _coerce_args(self, raw: Sequence[object]) -> List[object]:
+        """Materialize/handle/widen one row's argument values, in order."""
+        args = []
+        runtime = self.runtime
+        for value, param_type in zip(raw, self.param_types):
+            if param_type == "bytes":
+                value = runtime.materialize(value)
+            elif param_type == "handle":
+                value = runtime.make_handle(value)
+            elif param_type == "float" and isinstance(value, int):
+                value = float(value)
+            args.append(value)
+        return args
+
+    def eval_batch(self, rows: Sequence[Sequence[object]]) -> List[object]:
+        """Evaluate the call over a batch of rows.
+
+        Argument subexpressions are themselves evaluated batch-wise (so
+        nested UDF calls amortize too), NULL rows short out without an
+        invocation, pure-UDF memoization dedupes *within* the batch as
+        well as across batches, and everything left crosses the design
+        boundary in one :meth:`~repro.core.factory.UDFExecutor.invoke_batch`
+        call — the per-invocation marshalling/IPC tax is paid once per
+        batch instead of once per tuple.
+        """
+        arg_columns = [eval_batch(fn, rows) for fn in self.arg_fns]
+        results: List[object] = [None] * len(rows)
+        call_slots: List[int] = []
+        call_args: List[List[object]] = []
+        for index in range(len(rows)):
+            raw = [column[index] for column in arg_columns]
+            if any(value is None for value in raw):
+                continue  # strict NULL semantics for UDFs
+            call_slots.append(index)
+            call_args.append(self._coerce_args(raw))
+        memo = self._memo
+        key_by_slot: Dict[int, tuple] = {}
+        if memo is not None and call_slots:
+            pending_slots: List[int] = []
+            pending_args: List[List[object]] = []
+            first_slot_by_key: Dict[tuple, int] = {}
+            dup_of: Dict[int, int] = {}  # slot -> earlier slot, same key
+            for slot, args in zip(call_slots, call_args):
+                key = tuple(args)
+                try:
+                    if key in memo:
+                        results[slot] = memo[key]
+                        continue
+                    earlier = first_slot_by_key.get(key)
+                except TypeError:  # unhashable argument (e.g. bytearray)
+                    pending_slots.append(slot)
+                    pending_args.append(args)
+                    continue
+                if earlier is not None:
+                    dup_of[slot] = earlier
+                    continue
+                first_slot_by_key[key] = slot
+                key_by_slot[slot] = key
+                pending_slots.append(slot)
+                pending_args.append(args)
+            call_slots, call_args = pending_slots, pending_args
+        else:
+            dup_of = {}
+        if call_args:
+            values = self.executor.invoke_batch(call_args)
+            for slot, value in zip(call_slots, values):
+                results[slot] = value
+                if memo is not None:
+                    key = key_by_slot.get(slot)
+                    if key is not None:
+                        memo[key] = value
+        for slot, earlier in dup_of.items():
+            results[slot] = results[earlier]
+        return results
+
 
 class FunctionResolver:
     """Maps function names in expressions to call sites.
@@ -159,39 +267,58 @@ def _compile(expr, schema, resolver, runtime) -> EvalFn:
     if isinstance(expr, A.UnaryOp):
         operand = _compile(expr.operand, schema, resolver, runtime)
         if expr.op == "-":
-            return lambda row: None if (v := operand(row)) is None else -v
+            return _attach_batch(
+                lambda row: None if (v := operand(row)) is None else -v,
+                [operand],
+                lambda v: None if v is None else -v,
+            )
         if expr.op == "not":
             def negate(row):
                 value = operand(row)
                 return None if value is None else not value
-            return negate
+            return _attach_batch(
+                negate, [operand],
+                lambda v: None if v is None else not v,
+            )
         raise PlanError(f"unknown unary operator {expr.op!r}")
     if isinstance(expr, A.IsNull):
         operand = _compile(expr.operand, schema, resolver, runtime)
         if expr.negated:
-            return lambda row: operand(row) is not None
-        return lambda row: operand(row) is None
+            return _attach_batch(
+                lambda row: operand(row) is not None,
+                [operand], lambda v: v is not None,
+            )
+        return _attach_batch(
+            lambda row: operand(row) is None,
+            [operand], lambda v: v is None,
+        )
     if isinstance(expr, A.Between):
         operand = _compile(expr.operand, schema, resolver, runtime)
         low = _compile(expr.low, schema, resolver, runtime)
         high = _compile(expr.high, schema, resolver, runtime)
         negated = expr.negated
 
-        def between(row):
-            value = operand(row)
-            lo = low(row)
-            hi = high(row)
+        def between_values(value, lo, hi):
             if value is None or lo is None or hi is None:
                 return None
             result = lo <= value <= hi
             return (not result) if negated else result
 
-        return between
+        def between(row):
+            return between_values(operand(row), low(row), high(row))
+
+        return _attach_batch(between, [operand, low, high], between_values)
     if isinstance(expr, A.InList):
         operand = _compile(expr.operand, schema, resolver, runtime)
         items = [_compile(item, schema, resolver, runtime)
                  for item in expr.items]
         negated = expr.negated
+
+        def in_values(value, *item_values):
+            if value is None:
+                return None
+            found = any(item == value for item in item_values)
+            return (not found) if negated else found
 
         def in_list(row):
             value = operand(row)
@@ -200,7 +327,7 @@ def _compile(expr, schema, resolver, runtime) -> EvalFn:
             found = any(fn(row) == value for fn in items)
             return (not found) if negated else found
 
-        return in_list
+        return _attach_batch(in_list, [operand] + items, in_values)
     if isinstance(expr, A.FuncCall):
         return _compile_call(expr, schema, resolver, runtime)
     if isinstance(expr, A.Star):
@@ -224,7 +351,9 @@ def _compile_binary(expr, schema, resolver, runtime) -> EvalFn:
             if a is None or b is None:
                 return None
             return True
-        return kleene_and
+        return _attach_short_circuit(
+            kleene_and, left, right, short_value=False,
+        )
     if op == "or":
         def kleene_or(row):
             a = left(row)
@@ -236,29 +365,65 @@ def _compile_binary(expr, schema, resolver, runtime) -> EvalFn:
             if a is None or b is None:
                 return None
             return False
-        return kleene_or
+        return _attach_short_circuit(
+            kleene_or, left, right, short_value=True,
+        )
     if op == "like":
         return _compile_like(left, right)
 
     arith = _ARITH.get(op)
     if arith is not None:
-        def arithmetic(row):
-            a = left(row)
-            b = right(row)
+        def arith_values(a, b):
             if a is None or b is None:
                 return None
             return arith(a, b)
-        return arithmetic
+
+        def arithmetic(row):
+            return arith_values(left(row), right(row))
+        return _attach_batch(arithmetic, [left, right], arith_values)
     compare = _COMPARE.get(op)
     if compare is not None:
-        def comparison(row):
-            a = left(row)
-            b = right(row)
+        def compare_values(a, b):
             if a is None or b is None:
                 return None
             return compare(a, b)
-        return comparison
+
+        def comparison(row):
+            return compare_values(left(row), right(row))
+        return _attach_batch(comparison, [left, right], compare_values)
     raise PlanError(f"unknown binary operator {op!r}")
+
+
+def _attach_short_circuit(fn, left, right, short_value):
+    """Batch form of Kleene AND/OR.
+
+    The right side is evaluated only on the sub-batch the left side did
+    not decide (``short_value`` is the absorbing element) — the same
+    rows a per-tuple evaluation would touch, so batching never changes
+    how often a UDF on the right-hand side runs.
+    """
+    if (getattr(left, "eval_batch", None) is None
+            and getattr(right, "eval_batch", None) is None):
+        return fn
+
+    def batch(rows):
+        left_values = eval_batch(left, rows)
+        results = [short_value] * len(rows)
+        pending = [i for i, a in enumerate(left_values)
+                   if a is not short_value]
+        if pending:
+            right_values = eval_batch(right, [rows[i] for i in pending])
+            for i, b in zip(pending, right_values):
+                if b is short_value:
+                    results[i] = short_value
+                elif left_values[i] is None or b is None:
+                    results[i] = None
+                else:
+                    results[i] = not short_value
+        return results
+
+    fn.eval_batch = batch
+    return fn
 
 
 def _sql_div(a, b):
@@ -294,15 +459,16 @@ _COMPARE = {
 
 
 def _compile_like(left: EvalFn, right: EvalFn) -> EvalFn:
-    def like(row):
-        value = left(row)
-        pattern = right(row)
+    def like_values(value, pattern):
         if value is None or pattern is None:
             return None
         regex = _like_regex(pattern)
         return regex.fullmatch(value) is not None
 
-    return like
+    def like(row):
+        return like_values(left(row), right(row))
+
+    return _attach_batch(like, [left, right], like_values)
 
 
 def _like_regex(pattern: str) -> "re.Pattern":
@@ -381,13 +547,15 @@ def _compile_call(expr: A.FuncCall, schema, resolver, runtime) -> EvalFn:
             _compile(arg, schema, resolver, runtime) for arg in expr.args
         ]
 
-        def call(row):
-            args = [f(row) for f in arg_fns]
+        def call_values(*args):
             if any(a is None for a in args):
                 return None
             return fn(*args)
 
-        return call
+        def call(row):
+            return call_values(*[f(row) for f in arg_fns])
+
+        return _attach_batch(call, arg_fns, call_values)
     raise PlanError(f"unknown function {expr.name!r}")
 
 

@@ -16,13 +16,14 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Optional, Sequence, Union
 
-from ..errors import LinkError
+from ..errors import LinkError, VerifyError, VMRuntimeError
 from .classfile import ClassFile
 from .classloader import SystemClassLoader, UDFClassLoader
 from .interpreter import ExecutionContext, run_function
 from .jit import JitCompiler, invoke_jit
 from .resources import DEFAULT_POLICY, QuotaPolicy, ResourceAccount
 from .security import Permissions, SecurityManager, Signature
+from .values import coerce_argument
 
 
 class LoadedUDF:
@@ -103,6 +104,57 @@ class LoadedUDF:
         if self.use_jit:
             return invoke_jit(self.main_class, func, args, ctx, self._jit)
         return run_function(self.main_class, func, args, ctx)
+
+    def make_invoker(
+        self,
+        func_name: str,
+        context: ExecutionContext,
+        use_jit: Optional[bool] = None,
+    ) -> Callable[[Sequence[object]], object]:
+        """Build a per-call closure with invocation-invariant work hoisted.
+
+        One VM "entry" (function lookup, verified check, JIT compile) is
+        paid here; the returned callable only marshals arguments and
+        runs.  This is the batch fast path: the executor enters the VM
+        once per batch and calls the closure once per tuple.
+        """
+        func = self.main_class.functions.get(func_name)
+        if func is None:
+            raise LinkError(
+                f"UDF {self.name!r} has no function {func_name!r}"
+            )
+        cls = self.main_class
+        jit = self.use_jit if use_jit is None else use_jit
+        if not jit:
+            def invoke_interp(args: Sequence[object]) -> object:
+                return run_function(cls, func, args, context)
+
+            return invoke_interp
+        if not cls.verified:
+            raise VerifyError(
+                f"refusing to execute unverified class {cls.name!r}"
+            )
+        jitted = self._jit.get(cls, func, context)
+        param_types = func.param_types
+        nparams = len(param_types)
+        account = context.account
+
+        def invoke_one(args: Sequence[object]) -> object:
+            if len(args) != nparams:
+                raise VMRuntimeError(
+                    f"{cls.name}.{func.name} expects {nparams} "
+                    f"arguments, got {len(args)}"
+                )
+            vm_args = [
+                coerce_argument(a, t) for a, t in zip(args, param_types)
+            ]
+            account.enter_call()
+            try:
+                return jitted(vm_args, context)
+            finally:
+                account.exit_call()
+
+        return invoke_one
 
 
 class JaguarVM:

@@ -108,19 +108,36 @@ class TestConstantFolding:
         assert rows == [(42,)]
 
 
+def _count_invocations(monkeypatch):
+    """Record every UDF invocation, through either entry point.
+
+    The executor crosses into the sandbox via ``invoke`` (per tuple) or
+    ``invoke_batch`` (per batch); memoization counts are about *UDF
+    invocations*, so both paths are tallied per argument tuple.
+    """
+    calls = []
+    original_invoke = SandboxExecutor.invoke
+    original_batch = SandboxExecutor.invoke_batch
+
+    def counting(self, args):
+        calls.append(tuple(args))
+        return original_invoke(self, args)
+
+    def counting_batch(self, args_list):
+        calls.extend(tuple(args) for args in args_list)
+        return original_batch(self, args_list)
+
+    monkeypatch.setattr(SandboxExecutor, "invoke", counting)
+    monkeypatch.setattr(SandboxExecutor, "invoke_batch", counting_batch)
+    return calls
+
+
 class TestMemoization:
     def test_pure_udf_invoked_once_per_distinct_args(
         self, table, monkeypatch
     ):
         table.execute(TWICE)
-        calls = []
-        original = SandboxExecutor.invoke
-
-        def counting(self, args):
-            calls.append(tuple(args))
-            return original(self, args)
-
-        monkeypatch.setattr(SandboxExecutor, "invoke", counting)
+        calls = _count_invocations(monkeypatch)
         rows = table.query("SELECT id FROM t WHERE twice(v) > 25 ORDER BY id")
         assert rows == [(3,)]
         # Three rows, two distinct v values: the memo absorbs the dupe.
@@ -132,14 +149,7 @@ class TestMemoization:
             "DESIGN SANDBOX CALLBACKS 'cb_noop' "
             "AS 'def chatty(x: int) -> int:\n    return x + x + cb_noop()'"
         )
-        calls = []
-        original = SandboxExecutor.invoke
-
-        def counting(self, args):
-            calls.append(tuple(args))
-            return original(self, args)
-
-        monkeypatch.setattr(SandboxExecutor, "invoke", counting)
+        calls = _count_invocations(monkeypatch)
         table.query("SELECT id FROM t WHERE chatty(v) > 15")
         assert len(calls) == 3  # one per row, no memo
 

@@ -1,0 +1,182 @@
+#!/usr/bin/env python3
+"""Parallel execution sweep: worker count × design × bytearray size.
+
+Fig 5's no-op invocation-cost protocol re-run at several parallelism
+levels (``db.parallelism``).  Design 2 (IC++) shards every
+``invoke_batch`` across a pool of worker processes, so the per-call
+marshalling and VM costs that batching already amortized now also
+overlap in time: on a multi-core host the IC++ per-invocation cost
+should drop ≥1.5x at parallelism 2 and ≥2.5x at parallelism 4.  The
+in-process designs gain only where the optimizer places an Exchange
+(pure, expensive UDFs) — a no-op sweep leaves them flat, which is the
+point: parallelism must not tax serial paths.
+
+The sweep records ``meta.cpu_count``.  **On a single-core host the
+speedup gates are physically unattainable** (worker processes time-slice
+one core); the script then reports honest ≈1.0x numbers and exits 0
+with a warning instead of failing, and the pytest gate skips.  CI runs
+this on a multi-core runner, which is the meaningful gate.
+
+Run::
+
+    python benchmarks/test_parallelism.py                        # full sweep
+    python benchmarks/test_parallelism.py --smoke                # CI sanity run
+    python benchmarks/test_parallelism.py --out BENCH_parallelism.json
+    pytest benchmarks/test_parallelism.py                        # assertions only
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench.figures import run_parallelism  # noqa: E402
+from repro.bench.harness import Timer  # noqa: E402
+from repro.bench.workload import BenchmarkWorkload  # noqa: E402
+from repro.core.designs import Design  # noqa: E402
+
+#: Series labels (design × relation) as emitted by ``run_parallelism``.
+D2_LABEL = Design.NATIVE_ISOLATED.paper_label  # "IC++"
+
+#: Acceptance thresholds (multi-core hosts only).
+GATE_P2 = 1.5
+GATE_P4 = 2.5
+
+
+def multicore() -> bool:
+    return (os.cpu_count() or 1) >= 2
+
+
+def run(smoke: bool = False) -> dict:
+    """Execute the sweep and return a JSON-ready result dict."""
+    # The acceptance criterion names Rel100, so the sweep always covers
+    # it; the per-call work is one no-op round trip, making the overlap
+    # of marshalling/dispatch the whole measurement.
+    cardinality = 1000 if smoke else 2000
+    invocations = 1000
+    levels = (1, 2) if smoke else (1, 2, 4)
+    sizes = (100,)
+    timer = Timer(repeat=1 if smoke else 3, warmup=1)
+    with BenchmarkWorkload(
+        cardinality=cardinality, sizes=sizes
+    ) as workload:
+        result = run_parallelism(
+            workload,
+            invocations=invocations,
+            parallelism_levels=levels,
+            sizes=sizes,
+            timer=timer,
+        )
+    series = {
+        label: [{"parallelism": x, "seconds": s} for x, s in points]
+        for label, points in result.series.items()
+    }
+    speedups = {}
+    for label, points in result.series.items():
+        by_level = dict(points)
+        t1 = by_level.get(1)
+        if not t1:
+            continue
+        for level in levels[1:]:
+            t = by_level.get(level)
+            if t and t > 0:
+                speedups.setdefault(label, {})[f"p{level}"] = t1 / t
+    out = {
+        "experiment": "parallelism",
+        "cardinality": cardinality,
+        "cpu_count": os.cpu_count(),
+        "meta": result.meta,
+        "series": series,
+        "speedup_vs_p1": speedups,
+    }
+    for label, points in sorted(series.items()):
+        line = ", ".join(
+            f"p={p['parallelism']}: {p['seconds'] * 1e3:8.2f} ms"
+            for p in points
+        )
+        extra = ""
+        if label in speedups:
+            extra = "  (" + ", ".join(
+                f"{key}: {val:.2f}x"
+                for key, val in sorted(speedups[label].items())
+            ) + ")"
+        print(f"{label:14s} {line}{extra}")
+    return out
+
+
+def d2_speedup(results: dict, level: int) -> float:
+    """Design 2 no-op invocation speedup at a level, vs parallelism 1."""
+    return results["speedup_vs_p1"].get(
+        f"{D2_LABEL} Rel100", {}
+    ).get(f"p{level}", 0.0)
+
+
+# -- pytest entry points ------------------------------------------------------
+
+def test_design2_noop_speedup_at_p2():
+    """Acceptance: ≥1.5x on Design 2 no-op invocation at parallelism 2."""
+    if not multicore():
+        import pytest
+
+        pytest.skip("single-core host: parallel speedup unattainable")
+    results = run(smoke=True)
+    assert d2_speedup(results, 2) >= GATE_P2, results["speedup_vs_p1"]
+
+
+def test_pooled_batch_shards_across_workers():
+    """One pooled batch should spread its messages across the workers."""
+    from repro.bench.figures import measure_pool_channel_stats
+
+    with BenchmarkWorkload(
+        cardinality=64, sizes=(100,),
+        designs=(Design.NATIVE_ISOLATED,), use_generic=False,
+    ) as workload:
+        stats = measure_pool_channel_stats(workload, 100, 2)
+    assert stats["workers"] == 2
+    assert len(stats["per_worker"]) == 2
+    # Each worker handled one shard of the batch in a single hand-off.
+    assert all(w["messages_sent"] == 1 for w in stats["per_worker"])
+    assert stats["messages_sent"] == 2
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small cardinality and two levels (CI sanity run)",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=None,
+        help="write results as JSON to this path",
+    )
+    opts = parser.parse_args(argv)
+    results = run(smoke=opts.smoke)
+    p2 = d2_speedup(results, 2)
+    p4 = d2_speedup(results, 4)
+    print(f"Design 2 (no-op, Rel100) speedup at parallelism 2: {p2:.2f}x")
+    if p4:
+        print(
+            f"Design 2 (no-op, Rel100) speedup at parallelism 4: {p4:.2f}x"
+        )
+    if opts.out is not None:
+        opts.out.write_text(json.dumps(results, indent=2) + "\n")
+        print(f"wrote {opts.out}")
+    if not multicore():
+        print(
+            "WARNING: single-core host (cpu_count="
+            f"{os.cpu_count()}); parallel speedup is physically "
+            "unattainable here, skipping the gate.  Run on a "
+            "multi-core machine (CI does) for the real numbers."
+        )
+        return 0
+    ok = p2 >= GATE_P2 and (not p4 or p4 >= GATE_P4)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

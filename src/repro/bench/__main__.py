@@ -11,12 +11,14 @@ import sys
 
 from ..core.designs import Design
 from .figures import (
+    measure_pool_channel_stats,
     run_batching,
     run_fig4,
     run_fig5,
     run_fig6,
     run_fig7,
     run_fig8,
+    run_parallelism,
     run_table1,
 )
 from .harness import Timer
@@ -49,15 +51,40 @@ def main(argv=None) -> int:
         help="executor batch size (rows per operator batch; default 64, "
         "1 is tuple-at-a-time)",
     )
+    parser.add_argument(
+        "--parallelism", type=int, default=None,
+        help="worker fan-out for UDF execution (pool width for isolated "
+        "designs, Exchange width for in-process ones; default 1 is "
+        "serial)",
+    )
+    parser.add_argument(
+        "--stats", action="store_true",
+        help="print the isolated design's per-worker channel counters "
+        "for one pooled batch and exit",
+    )
     args = parser.parse_args(argv)
     wanted = {piece.strip() for piece in args.figures.split(",")}
     timer = Timer(repeat=args.repeat)
+
+    if args.stats:
+        # Per-worker shared-memory channel counters for one pooled
+        # batch: the quickest way to see how a batch was sharded.
+        import json
+
+        level = args.parallelism or 1
+        with BenchmarkWorkload(
+            cardinality=64, sizes=(100,),
+            designs=(Design.NATIVE_ISOLATED,), use_generic=False,
+        ) as workload:
+            stats = measure_pool_channel_stats(workload, 100, level)
+        print(json.dumps(stats, indent=2, sort_keys=True))
+        return 0
 
     if "table1" in wanted:
         print(render(run_table1()))
         print()
 
-    numeric = wanted & {"4", "5", "6", "7", "8", "batching"}
+    numeric = wanted & {"4", "5", "6", "7", "8", "batching", "parallelism"}
     if not numeric:
         return 0
 
@@ -68,11 +95,16 @@ def main(argv=None) -> int:
             f", batch_size={args.batch_size}"
             if args.batch_size is not None else ""
         )
+        + (
+            f", parallelism={args.parallelism}"
+            if args.parallelism is not None else ""
+        )
         + " ...",
         flush=True,
     )
     with BenchmarkWorkload(
-        cardinality=args.cardinality, batch_size=args.batch_size
+        cardinality=args.cardinality, batch_size=args.batch_size,
+        parallelism=args.parallelism,
     ) as workload:
         kwargs = {}
         if args.invocations:
@@ -101,6 +133,10 @@ def main(argv=None) -> int:
             print()
         if "batching" in wanted:
             result = run_batching(workload, timer=timer, **kwargs)
+            print(render(result))
+            print()
+        if "parallelism" in wanted:
+            result = run_parallelism(workload, timer=timer, **kwargs)
             print(render(result))
             print()
     return 0

@@ -261,6 +261,107 @@ def measure_shm_batch_stats(
         executor.close()
 
 
+DEFAULT_PARALLELISM_SWEEP = (1, 2, 4)
+
+
+def run_parallelism(
+    workload: BenchmarkWorkload,
+    invocations: int = 1000,
+    parallelism_levels: Sequence[int] = DEFAULT_PARALLELISM_SWEEP,
+    designs: Sequence[Design] = PAPER_DESIGNS,
+    sizes: Optional[Sequence[int]] = None,
+    timer: Optional[Timer] = None,
+) -> ExperimentResult:
+    """Parallel execution sweep: worker count × design × bytearray size.
+
+    Fig 5's no-op invocation-cost protocol re-run at several parallelism
+    levels over the same populated database (``db.parallelism`` is
+    mutated between sweeps and restored afterwards).  The isolated
+    designs shard each ``invoke_batch`` across a worker pool; the
+    in-process sandboxes parallelize across Exchange threads when the
+    optimizer places an Exchange.  Base table-access cost is measured
+    per level — the scan is serial, so its cost should be level-
+    independent, and measuring it per level keeps the subtraction
+    honest.  ``meta["pool_stats"]`` records the per-worker channel
+    counters of one instrumented pooled batch per configuration, and
+    ``meta["cpu_count"]`` records the host's core count: on a
+    single-core host the sweep measures overhead, not speedup.
+    """
+    import os
+
+    timer = timer or Timer()
+    invocations = min(invocations, workload.cardinality)
+    if sizes is None:
+        sizes = workload.sizes
+    result = ExperimentResult(
+        experiment="parallelism",
+        title="Parallel execution: invocation cost vs worker count",
+        x_label="parallelism",
+        meta={
+            "invocations": invocations,
+            "parallelism_levels": list(parallelism_levels),
+            "sizes": list(sizes),
+            "cpu_count": os.cpu_count(),
+        },
+    )
+    pool_stats = {}
+    saved = workload.db.parallelism
+    try:
+        for level in parallelism_levels:
+            workload.db.parallelism = level
+            base_cache: Dict[Tuple[int, int], float] = {}
+            for design in designs:
+                udf = workload.noop_names[design]
+                for size in sizes:
+                    cost = measure_udf_cost(
+                        workload, size, udf, invocations,
+                        timer=timer, base_cache=base_cache,
+                    )
+                    label = f"{design.paper_label} Rel{size}"
+                    result.add_point(label, level, cost)
+            if any(d.is_isolated for d in designs):
+                for size in sizes:
+                    pool_stats[f"parallel={level},Rel{size}"] = (
+                        measure_pool_channel_stats(workload, size, level)
+                    )
+    finally:
+        workload.db.parallelism = saved
+    result.meta["pool_stats"] = pool_stats
+    return result
+
+
+def measure_pool_channel_stats(
+    workload: BenchmarkWorkload, size: int, parallelism: int
+) -> Dict[str, object]:
+    """IPC traffic for one pooled no-op batch round (Design 2).
+
+    Spawns a fresh remote executor with an explicit pool width, sends
+    one 64-tuple batch, and returns the aggregated channel counters —
+    ``per_worker`` shows how the batch was sharded (each participating
+    worker should log one message pair), the rollup keys stay
+    compatible with :func:`measure_shm_batch_stats` consumers.
+    """
+    from ..core.isolated import RemoteExecutor
+    from .workload import pattern_bytes
+
+    registry = workload.db.registry
+    name = workload.noop_names[Design.NATIVE_ISOLATED]
+    definition = registry.get(name)
+    executor = RemoteExecutor(
+        definition, workload.db.environment, parallelism=parallelism
+    )
+    try:
+        executor.begin_query()
+        args_list = [
+            (bytearray(pattern_bytes(size, row)), 0, 0, 0)
+            for row in range(64)
+        ]
+        executor.invoke_batch(args_list)
+        return executor.channel_stats()
+    finally:
+        executor.close()
+
+
 def run_fig8(
     workload: BenchmarkWorkload,
     invocations: int = 200,

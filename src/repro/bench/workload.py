@@ -59,6 +59,7 @@ class BenchmarkWorkload:
         use_generic: bool = True,
         path: Optional[str] = None,
         batch_size: Optional[int] = None,
+        parallelism: Optional[int] = None,
     ):
         self.cardinality = cardinality
         self.sizes = tuple(sizes)
@@ -67,6 +68,8 @@ class BenchmarkWorkload:
         # module docstring); the buffer pool is sized to hold the
         # largest relation so repeated sweeps measure CPU, not I/O.
         db_kwargs = {} if batch_size is None else {"batch_size": batch_size}
+        if parallelism is not None:
+            db_kwargs["parallelism"] = parallelism
         self.db = Database(
             path=path,
             page_size=16384,

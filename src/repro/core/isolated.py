@@ -1,4 +1,4 @@
-"""Designs 2 and 4: UDFs in an isolated executor process.
+"""Designs 2 and 4: UDFs in isolated executor processes.
 
 Section 4.1, transliterated:
 
@@ -17,12 +17,25 @@ Section 4.1, transliterated:
   one more copy + semaphore hand-off, so the cost grows with data size,
   as the paper expects);
 * crashes are contained: if the worker dies, the server raises
-  :class:`~repro.errors.UDFCrashed` and keeps serving.
+  :class:`~repro.errors.UDFCrashed` — naming the worker's exit status —
+  and keeps serving.
+
+The executor owns a :class:`WorkerPool` of one or more worker processes
+(``env.parallelism`` wide), each with its own private shm buffer and
+channel.  ``invoke_batch`` shards a batch across the currently idle
+workers and *pipelines* the dispatch: every shard is marshalled and sent
+before the first result is awaited, so worker k+1 starts computing while
+the server is still feeding (or later draining) worker k.  Results are
+reassembled in shard order, which is input order, so parallelism never
+reorders a batch.  ``parallelism=1`` degenerates to the exact serial
+protocol: one worker, one round trip per batch.
 
 Design 4 (the paper extrapolates it; we build it) runs a JaguarVM
 *inside* the worker, so the UDF gets both process isolation and the
 sandbox's verification/quotas; its callbacks pay the process-boundary
 price, which is what makes Design 4 ≈ Design 2 + Design 3 measurable.
+UDFs that declared callbacks keep a pool of one: callback dispatch is
+interactive and funnels through the query's single broker binding.
 
 Marshalling uses :mod:`pickle` restricted to primitive SQL values (see
 ``_dumps``/``_loads``) — the analog of PREDATOR copying raw argument
@@ -33,8 +46,10 @@ from __future__ import annotations
 
 import multiprocessing
 import pickle
+import queue
+import signal
 import struct
-from typing import Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from ..errors import CallbackError, UDFCrashed, UDFInvocationError, VMError
 from .designs import Design
@@ -46,6 +61,9 @@ DEFAULT_BUFFER = 256 * 1024
 MAX_BUFFER = 8 * 1024 * 1024
 _POLL_INTERVAL = 0.05
 _STARTUP_TIMEOUT = 30.0
+#: Minimum rows per shard before ``invoke_batch`` fans out to another
+#: worker: splitting a tiny batch buys nothing and pays extra hand-offs.
+_MIN_SHARD_ROWS = 8
 
 MSG_READY = 1
 MSG_INVOKE = 2
@@ -110,13 +128,17 @@ class _ShmChannel:
 
     # -- direction-agnostic primitives ---------------------------------------
 
-    def _send(self, ready, ack, msg_type: int, payload: bytes) -> None:
+    def _send(self, ready, ack, msg_type: int, payload: bytes,
+              death_check=None) -> None:
         total = len(payload)
         offset = 0
         first = True
         while first or offset < total:
             if not first:
-                ack.acquire()  # receiver consumed the previous chunk
+                # Receiver consumed the previous chunk.  Watch for peer
+                # death here too: a multi-chunk send to a dead worker
+                # must raise, not block on an ack that will never come.
+                self._acquire(ack, death_check)
             chunk = payload[offset:offset + self.max_chunk]
             _HEADER.pack_into(self.buffer, 0, msg_type, total, len(chunk))
             self.buffer[_HEADER.size:_HEADER.size + len(chunk)] = chunk
@@ -126,8 +148,8 @@ class _ShmChannel:
             self.chunks_sent += 1
         self.messages_sent += 1
 
-    def _recv(self, ready, ack, alive_check=None) -> Tuple[int, bytes]:
-        self._acquire(ready, alive_check)
+    def _recv(self, ready, ack, death_check=None) -> Tuple[int, bytes]:
+        self._acquire(ready, death_check)
         msg_type, total, chunk_len = _HEADER.unpack_from(self.buffer, 0)
         data = bytearray(
             self.buffer[_HEADER.size:_HEADER.size + chunk_len]
@@ -135,7 +157,7 @@ class _ShmChannel:
         self.chunks_received += 1
         while len(data) < total:
             ack.release()
-            self._acquire(ready, alive_check)
+            self._acquire(ready, death_check)
             __, __, chunk_len = _HEADER.unpack_from(self.buffer, 0)
             data += self.buffer[_HEADER.size:_HEADER.size + chunk_len]
             self.chunks_received += 1
@@ -152,23 +174,35 @@ class _ShmChannel:
         }
 
     @staticmethod
-    def _acquire(semaphore, alive_check) -> None:
-        if alive_check is None:
+    def _acquire(semaphore, death_check) -> None:
+        """Block on ``semaphore``; poll ``death_check`` while waiting.
+
+        ``death_check`` (when given) returns ``None`` while the peer is
+        alive, else a human-readable status — the dead worker's exit
+        code or terminating signal — which the raised
+        :class:`UDFCrashed` surfaces instead of a generic liveness
+        failure.
+        """
+        if death_check is None:
             semaphore.acquire()
             return
         while not semaphore.acquire(timeout=_POLL_INTERVAL):
-            if not alive_check():
+            status = death_check()
+            if status is not None:
                 raise UDFCrashed(
-                    "remote UDF executor process died; the server survives"
+                    f"remote UDF executor process died ({status}); "
+                    f"the server survives"
                 )
 
     # -- server side --------------------------------------------------------------
 
-    def server_send(self, msg_type: int, payload: bytes) -> None:
-        self._send(self.s2w_ready, self.s2w_ack, msg_type, payload)
+    def server_send(self, msg_type: int, payload: bytes,
+                    death_check=None) -> None:
+        self._send(self.s2w_ready, self.s2w_ack, msg_type, payload,
+                   death_check)
 
-    def server_recv(self, alive_check) -> Tuple[int, bytes]:
-        return self._recv(self.w2s_ready, self.w2s_ack, alive_check)
+    def server_recv(self, death_check) -> Tuple[int, bytes]:
+        return self._recv(self.w2s_ready, self.w2s_ack, death_check)
 
     # -- worker side ----------------------------------------------------------------
 
@@ -179,16 +213,211 @@ class _ShmChannel:
         return self._recv(self.s2w_ready, self.s2w_ack)
 
 
+class _Worker:
+    """One executor process plus its private shm buffer and channel."""
+
+    def __init__(self, mp_ctx, definition: UDFDefinition,
+                 buffer_size: int, payload_blob: bytes, index: int):
+        self.index = index
+        self.array = mp_ctx.Array("B", buffer_size, lock=False)
+        self.channel = _ShmChannel(
+            memoryview(self.array).cast("B"),
+            mp_ctx.Semaphore(0), mp_ctx.Semaphore(0),
+            mp_ctx.Semaphore(0), mp_ctx.Semaphore(0),
+        )
+        self.process = mp_ctx.Process(
+            target=_worker_main,
+            args=(
+                self.array,
+                self.channel.s2w_ready, self.channel.s2w_ack,
+                self.channel.w2s_ready, self.channel.w2s_ack,
+                payload_blob,
+            ),
+            daemon=True,
+            name=f"udf-executor-{definition.name}-{index}",
+        )
+        self.process.start()
+
+    def death(self) -> Optional[str]:
+        """``None`` while alive, else how the process ended."""
+        process = self.process
+        if process is None:
+            return "already closed"
+        if process.is_alive():
+            return None
+        code = process.exitcode
+        if code is None:
+            return "unknown exit status"
+        if code < 0:
+            try:
+                return f"killed by {signal.Signals(-code).name}"
+            except ValueError:
+                return f"killed by signal {-code}"
+        return f"exit code {code}"
+
+    def send(self, msg_type: int, payload: bytes) -> None:
+        self.channel.server_send(msg_type, payload, self.death)
+
+    def recv(self) -> Tuple[int, bytes]:
+        return self.channel.server_recv(self.death)
+
+    def close(self) -> None:
+        process = self.process
+        if process is None:
+            return
+        self.process = None
+        try:
+            if process.is_alive():
+                self.channel.server_send(MSG_SHUTDOWN, b"")
+                process.join(timeout=1.0)
+        except Exception:
+            pass
+        if process.is_alive():
+            process.terminate()
+            process.join(timeout=1.0)
+
+
+class WorkerPool:
+    """N worker processes for one UDF, each with its own channel.
+
+    All processes are forked first so their startup (imports, VM
+    construction, classfile verification for Design 4) overlaps; only
+    then does the server collect each worker's READY.  Idle workers sit
+    in a LIFO queue — the most recently used worker is the cache-warm
+    one — and ``checkout``/``checkin`` make the pool safe to drive from
+    several Exchange threads at once.
+    """
+
+    def __init__(
+        self,
+        definition: UDFDefinition,
+        env: ServerEnvironment,
+        size: int,
+        buffer_size: int,
+        payload_blob: bytes,
+    ):
+        self.definition = definition
+        self.size = max(1, size)
+        mp_ctx = multiprocessing.get_context(_start_method())
+        self._workers: List[_Worker] = []
+        self._idle: "queue.LifoQueue[_Worker]" = queue.LifoQueue()
+        try:
+            for index in range(self.size):
+                self._workers.append(
+                    _Worker(mp_ctx, definition, buffer_size, payload_blob,
+                            index)
+                )
+            for worker in self._workers:
+                msg_type, payload = worker.recv()
+                if msg_type == MSG_ERROR:
+                    raise _reraise(payload, definition.name)
+                if msg_type != MSG_READY:
+                    raise UDFInvocationError(
+                        f"remote executor for {definition.name!r} failed "
+                        f"to start"
+                    )
+        except Exception:
+            self.close()
+            raise
+        for worker in self._workers:
+            self._idle.put(worker)
+
+    @property
+    def closed(self) -> bool:
+        return not self._workers
+
+    @property
+    def workers(self) -> List[_Worker]:
+        return list(self._workers)
+
+    def checkout(self) -> _Worker:
+        """Block until a worker is idle and take it."""
+        return self._idle.get()
+
+    def checkout_nowait(self) -> Optional[_Worker]:
+        """Take an idle worker if one is free right now, else ``None``.
+
+        Extra shard workers are acquired non-blockingly on purpose: two
+        concurrent ``invoke_batch`` calls each blocking for *several*
+        workers could deadlock holding partial sets.  Each call blocks
+        for exactly one worker and only opportunistically adds more.
+        """
+        try:
+            return self._idle.get_nowait()
+        except queue.Empty:
+            return None
+
+    def checkin(self, worker: _Worker) -> None:
+        self._idle.put(worker)
+
+    def stats(self) -> dict:
+        """Rollup across workers, keeping the flat single-channel keys.
+
+        ``buffer_size`` is per worker (they are all sized alike); the
+        traffic counters are summed; ``per_worker`` holds each channel's
+        own dict for attribution.
+        """
+        per_worker = [worker.channel.stats() for worker in self._workers]
+        rollup = {
+            "buffer_size": per_worker[0]["buffer_size"] if per_worker else 0,
+            "messages_sent": sum(s["messages_sent"] for s in per_worker),
+            "messages_received": sum(
+                s["messages_received"] for s in per_worker
+            ),
+            "chunks_sent": sum(s["chunks_sent"] for s in per_worker),
+            "chunks_received": sum(
+                s["chunks_received"] for s in per_worker
+            ),
+            "workers": len(per_worker),
+            "per_worker": per_worker,
+        }
+        return rollup
+
+    def close(self) -> None:
+        """Join or terminate every worker; drop all IPC references.
+
+        Swapping out the worker list and idle queue before joining means
+        no checkout can hand back a dying worker, and the shm arrays and
+        semaphores lose their last server-side references once the
+        workers are gone — nothing leaks across queries.
+        """
+        workers, self._workers = self._workers, []
+        self._idle = queue.LifoQueue()
+        for worker in workers:
+            worker.close()
+
+
+def _split_shards(tuples: tuple, count: int) -> List[tuple]:
+    """Contiguous near-even shards; concatenation restores input order."""
+    base, extra = divmod(len(tuples), count)
+    shards = []
+    offset = 0
+    for index in range(count):
+        size = base + (1 if index < extra else 0)
+        shards.append(tuples[offset:offset + size])
+        offset += size
+    return shards
+
+
 class RemoteExecutor(UDFExecutor):
-    """Per-query remote executor process (Design 2 / Design 4)."""
+    """Per-query remote executor pool (Design 2 / Design 4)."""
 
     def __init__(
         self,
         definition: UDFDefinition,
         env: ServerEnvironment,
         buffer_size: Optional[int] = None,
+        parallelism: Optional[int] = None,
     ):
         super().__init__(definition, env)
+        if parallelism is None:
+            parallelism = getattr(env, "parallelism", 1) or 1
+        if definition.callbacks:
+            # Callbacks are interactive round trips through the query's
+            # single broker binding; a UDF that declared any keeps one
+            # worker so callback traffic stays strictly ordered.
+            parallelism = 1
+        parallelism = max(1, int(parallelism))
         if buffer_size is None:
             # Pre-size from the expected batch payload so a whole batch
             # usually crosses in one chunk instead of chunking at a
@@ -211,35 +440,10 @@ class RemoteExecutor(UDFExecutor):
             # module path to the worker.
             resolve_native_payload(definition.payload)
             worker_payload = ("native", bytes(definition.payload))
-
-        mp = multiprocessing.get_context(_start_method())
-        self._array = mp.Array("B", buffer_size, lock=False)
-        self._channel = _ShmChannel(
-            memoryview(self._array).cast("B"),
-            mp.Semaphore(0), mp.Semaphore(0),
-            mp.Semaphore(0), mp.Semaphore(0),
+        self._reservation = None
+        self._pool = WorkerPool(
+            definition, env, parallelism, buffer_size, _dumps(worker_payload)
         )
-        self._process = mp.Process(
-            target=_worker_main,
-            args=(
-                self._array,
-                self._channel.s2w_ready, self._channel.s2w_ack,
-                self._channel.w2s_ready, self._channel.w2s_ack,
-                _dumps(worker_payload),
-            ),
-            daemon=True,
-            name=f"udf-executor-{definition.name}",
-        )
-        self._process.start()
-        msg_type, startup_payload = self._channel.server_recv(self._alive)
-        if msg_type == MSG_ERROR:
-            self.close()
-            raise _reraise(startup_payload, definition.name)
-        if msg_type != MSG_READY:
-            self.close()
-            raise UDFInvocationError(
-                f"remote executor for {definition.name!r} failed to start"
-            )
 
     @staticmethod
     def _sandbox_classfile_bytes(
@@ -254,33 +458,115 @@ class RemoteExecutor(UDFExecutor):
         cls = compile_udf_source(source, f"udf_{definition.name}", env)
         return cls.to_bytes()
 
-    def _alive(self) -> bool:
-        return self._process is not None and self._process.is_alive()
+    @property
+    def _process(self):
+        """First worker's process (compat shim for pre-pool callers)."""
+        workers = self._pool.workers
+        return workers[0].process if workers else None
+
+    @property
+    def pool_size(self) -> int:
+        return self._pool.size
 
     def channel_stats(self) -> dict:
-        """Server-side IPC traffic counters (for benchmarks/audits)."""
-        return self._channel.stats()
+        """Server-side IPC traffic counters (for benchmarks/audits).
+
+        Flat keys aggregate every worker channel; ``per_worker`` breaks
+        the same counters out per process.
+        """
+        return self._pool.stats()
+
+    # -- admission ------------------------------------------------------------
+
+    def _worker_claims(self) -> tuple:
+        """Per-worker worst case to reserve against the UDF's group.
+
+        Each pool worker can run one invocation at a time, so N workers
+        mean N concurrent worst cases.  The certified constant bound is
+        the tight claim; otherwise the definition's declared quotas,
+        falling back to the server VM's default policy (which is what
+        the worker-side VM will enforce).
+        """
+        from ..analysis.bounds import constant_bound
+        from ..vm.resources import DEFAULT_FUEL, DEFAULT_MEMORY
+
+        policy = getattr(self.env.vm, "policy", None)
+        fuel_claim = self.definition.fuel or getattr(
+            policy, "fuel", DEFAULT_FUEL
+        )
+        mem_claim = self.definition.memory or getattr(
+            policy, "memory", DEFAULT_MEMORY
+        )
+        cert = self.definition.certificate
+        if cert is not None:
+            fuel_const = constant_bound(cert.fuel_bound)
+            if fuel_const is not None:
+                fuel_claim = min(fuel_claim, fuel_const)
+            mem_const = constant_bound(cert.mem_bound)
+            if mem_const is not None:
+                mem_claim = min(mem_claim, mem_const)
+        return fuel_claim, mem_claim
+
+    def begin_query(self, binding=None) -> None:
+        super().begin_query(binding)
+        registry = self.env.thread_groups
+        if (
+            self._reservation is not None
+            or registry is None
+            or self._pool.closed
+            or not self.definition.design.is_sandboxed
+        ):
+            return
+        # Per-worker quota attribution: one labelled claim per pool
+        # worker, so the group ledger shows which process holds what and
+        # admission control sees the pool's true concurrent worst case.
+        group = registry.group_for(self.definition.name.lower())
+        fuel_claim, mem_claim = self._worker_claims()
+        held = []
+        try:
+            for worker in self._pool.workers:
+                holder = (
+                    f"{self.definition.name.lower()}/worker{worker.index}"
+                )
+                group.reserve(fuel_claim, mem_claim, holder=holder)
+                held.append(holder)
+        except Exception:
+            for holder in held:
+                group.release(fuel_claim, mem_claim, holder=holder)
+            raise
+        self._reservation = (group, fuel_claim, mem_claim, held)
+
+    def _release_reservation(self) -> None:
+        if self._reservation is None:
+            return
+        group, fuel_claim, mem_claim, held = self._reservation
+        self._reservation = None
+        for holder in held:
+            group.release(fuel_claim, mem_claim, holder=holder)
 
     # -- invocation ------------------------------------------------------------
 
-    def invoke(self, args: Sequence[object]) -> object:
-        if self.binding is None:
-            self.begin_query()
-        if self._process is None:
-            raise UDFInvocationError("remote executor is closed")
-        channel = self._channel
-        channel.server_send(MSG_INVOKE, _dumps(tuple(args)))
+    def _collect(self, worker: _Worker, expected: int):
+        """Drive one worker's channel until its result (or error) lands.
+
+        Callback requests are serviced inline — each one is a shared
+        memory round trip through the query's broker binding, the per
+        callback cost Figure 8 measures.
+        """
         while True:
-            msg_type, payload = channel.server_recv(self._alive)
-            if msg_type == MSG_RESULT:
-                return _loads(payload)
+            msg_type, payload = worker.recv()
+            if msg_type == expected:
+                result = _loads(payload)
+                return (
+                    list(result) if expected == MSG_RESULT_BATCH else result
+                )
             if msg_type == MSG_CALLBACK:
                 name, cb_args = _loads(payload)
                 try:
                     reply = self.binding.invoke(name, *cb_args)
-                    channel.server_send(MSG_CB_REPLY, _dumps(reply))
+                    worker.send(MSG_CB_REPLY, _dumps(reply))
                 except Exception as exc:  # callback failed: tell the UDF
-                    channel.server_send(MSG_ERROR, _dumps(_shippable(exc)))
+                    worker.send(MSG_ERROR, _dumps(_shippable(exc)))
             elif msg_type == MSG_ERROR:
                 raise _reraise(payload, self.definition.name)
             else:
@@ -288,45 +574,91 @@ class RemoteExecutor(UDFExecutor):
                     f"unexpected message type {msg_type} from executor"
                 )
 
-    def invoke_batch(self, args_list: Sequence[Sequence[object]]) -> list:
-        """One shared-memory round trip for a whole batch.
+    def invoke(self, args: Sequence[object]) -> object:
+        if self._pool.closed:
+            raise UDFInvocationError("remote executor is closed")
+        if self.binding is None:
+            self.begin_query()
+        worker = self._pool.checkout()
+        try:
+            worker.send(MSG_INVOKE, _dumps(tuple(args)))
+            return self._collect(worker, MSG_RESULT)
+        finally:
+            self._pool.checkin(worker)
 
-        N argument tuples are marshalled into the channel together and N
-        results come back together — two hand-offs per *batch* instead
-        of per tuple, the amortization the paper's Section 5 cost
-        decomposition motivates.  Callbacks still cross per call (they
-        are interactive by nature), and the first failing invocation
-        aborts the batch with its original exception, exactly as the
-        per-tuple loop would have raised it.
+    def invoke_batch(self, args_list: Sequence[Sequence[object]]) -> list:
+        """Shard one batch across idle workers, pipelined, order kept.
+
+        With one worker (or a batch too small to shard) this is the
+        serial protocol: N argument tuples cross together and N results
+        come back together — two hand-offs per *batch* instead of per
+        tuple.  With more workers the batch splits into contiguous
+        shards; every shard is sent before any result is awaited, so all
+        workers compute while the server marshals, and results are
+        collected in shard order — concatenation restores input order
+        regardless of which worker finished first.
+
+        The first failing invocation aborts the batch with its original
+        exception, exactly as the per-tuple loop would have raised it:
+        shards are contiguous, so the lowest-shard error is the earliest
+        input row's error.  Remaining workers are still drained so their
+        channels stay request/response aligned for the next batch.
         """
         if not args_list:
             return []
+        if self._pool.closed:
+            raise UDFInvocationError("remote executor is closed")
         if self.binding is None:
             self.begin_query()
-        if self._process is None:
-            raise UDFInvocationError("remote executor is closed")
-        channel = self._channel
-        channel.server_send(
-            MSG_INVOKE_BATCH,
-            _dumps(tuple(tuple(args) for args in args_list)),
-        )
-        while True:
-            msg_type, payload = channel.server_recv(self._alive)
-            if msg_type == MSG_RESULT_BATCH:
-                return list(_loads(payload))
-            if msg_type == MSG_CALLBACK:
-                name, cb_args = _loads(payload)
+        pool = self._pool
+        tuples = tuple(tuple(args) for args in args_list)
+        want = min(pool.size, max(1, len(tuples) // _MIN_SHARD_ROWS))
+        worker = pool.checkout()
+        if want == 1:
+            try:
+                worker.send(MSG_INVOKE_BATCH, _dumps(tuples))
+                return self._collect(worker, MSG_RESULT_BATCH)
+            finally:
+                pool.checkin(worker)
+        workers = [worker]
+        while len(workers) < want:
+            extra = pool.checkout_nowait()
+            if extra is None:
+                break
+            workers.append(extra)
+        shards = _split_shards(tuples, len(workers))
+        results: list = []
+        errors: List[Tuple[int, Exception]] = []
+        sent: List[_Worker] = []
+        try:
+            for index, (shard_worker, shard) in enumerate(
+                zip(workers, shards)
+            ):
                 try:
-                    reply = self.binding.invoke(name, *cb_args)
-                    channel.server_send(MSG_CB_REPLY, _dumps(reply))
-                except Exception as exc:  # callback failed: tell the UDF
-                    channel.server_send(MSG_ERROR, _dumps(_shippable(exc)))
-            elif msg_type == MSG_ERROR:
-                raise _reraise(payload, self.definition.name)
-            else:
-                raise UDFInvocationError(
-                    f"unexpected message type {msg_type} from executor"
-                )
+                    shard_worker.send(MSG_INVOKE_BATCH, _dumps(shard))
+                except Exception as exc:
+                    errors.append((index, exc))
+                    break  # later shards were never dispatched
+                sent.append(shard_worker)
+            # Drain every worker that got a request — even after an
+            # earlier shard failed — so each channel is back at its
+            # request/response boundary before re-entering the pool.
+            for index, shard_worker in enumerate(sent):
+                try:
+                    part = self._collect(shard_worker, MSG_RESULT_BATCH)
+                except Exception as exc:
+                    errors.append((index, exc))
+                    continue
+                if not errors:
+                    results.extend(part)
+        finally:
+            for shard_worker in workers:
+                pool.checkin(shard_worker)
+        if errors:
+            # Shards are contiguous, so the lowest shard's failure is
+            # the earliest input row's failure — what serial raises.
+            raise min(errors, key=lambda pair: pair[0])[1]
+        return results
 
     # -- teardown ----------------------------------------------------------------
 
@@ -335,19 +667,9 @@ class RemoteExecutor(UDFExecutor):
         self.close()
 
     def close(self) -> None:
-        process = self._process
-        if process is None:
-            return
-        self._process = None
-        try:
-            if process.is_alive():
-                self._channel.server_send(MSG_SHUTDOWN, b"")
-                process.join(timeout=1.0)
-        except Exception:
-            pass
-        if process.is_alive():
-            process.terminate()
-            process.join(timeout=1.0)
+        self._release_reservation()
+        if not self._pool.closed:
+            self._pool.close()
         self.binding = None
 
 

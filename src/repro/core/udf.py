@@ -258,3 +258,9 @@ class ServerEnvironment:
     #: call).  Isolated executors also use it to pre-size their shared
     #: memory buffer for one batch per round trip.
     batch_size: int = 64
+    #: Worker fan-out for UDF execution.  Isolated executors spawn this
+    #: many worker processes per query (a :class:`WorkerPool` shards
+    #: ``invoke_batch`` across them); the planner inserts Exchange
+    #: operators at the same width.  1 (the default) reproduces exact
+    #: serial semantics — one worker, no Exchange, seed-identical plans.
+    parallelism: int = 1

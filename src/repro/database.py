@@ -65,6 +65,7 @@ class Database:
         lob_threshold: int = DEFAULT_LOB_THRESHOLD,
         use_jit: bool = True,
         batch_size: int = DEFAULT_BATCH_SIZE,
+        parallelism: int = 1,
     ):
         self.path = path
         if path is None:
@@ -92,6 +93,7 @@ class Database:
             thread_groups=self.thread_groups,
         )
         self.batch_size = batch_size
+        self.parallelism = parallelism
         self.registry = UDFRegistry(self.environment)
         self._executor = StatementExecutor(self)
         self._reload_udfs()
@@ -111,6 +113,23 @@ class Database:
         if value < 1:
             raise ValueError(f"batch_size must be >= 1, got {value}")
         self.environment.batch_size = int(value)
+
+    @property
+    def parallelism(self) -> int:
+        """Worker fan-out for UDF execution; 1 is exact serial semantics.
+
+        Mutable at runtime (``db.parallelism = 4``) — the next query
+        plans Exchange operators and sizes isolated worker pools at the
+        new width.  ``parallelism=1`` reproduces the serial plans and
+        row order bit for bit.
+        """
+        return self.environment.parallelism
+
+    @parallelism.setter
+    def parallelism(self, value: int) -> None:
+        if value < 1:
+            raise ValueError(f"parallelism must be >= 1, got {value}")
+        self.environment.parallelism = int(value)
 
     # -- SQL entry points ------------------------------------------------------
 

@@ -25,10 +25,12 @@ from .expressions import (
     FunctionResolver,
     QueryRuntime,
     compile_expr,
+    eval_batch,
 )
 from .operators import (
     Aggregate,
     Distinct,
+    Exchange,
     Filter,
     IndexScan,
     Limit,
@@ -37,11 +39,13 @@ from .operators import (
     Project,
     SeqScan,
     Sort,
+    apply_predicates,
 )
 from .optimizer import CostOracle, optimize
 from .planner import (
     LogicalAggregate,
     LogicalDistinct,
+    LogicalExchange,
     LogicalFilter,
     LogicalJoin,
     LogicalLimit,
@@ -184,7 +188,11 @@ class StatementExecutor:
         runtime = QueryRuntime(lobs=self.db.lobs, binding=binding)
         try:
             plan = plan_select(select, self.db.catalog, resolver)
-            plan = optimize(plan, _RegistryOracle(self.db.registry))
+            plan = optimize(
+                plan,
+                _RegistryOracle(self.db.registry),
+                parallelism=self.db.parallelism,
+            )
             root = self._physical(plan, resolver, runtime)
             rows = [tuple(row) for row in root.rows()]
             return QueryResult(
@@ -202,7 +210,9 @@ class StatementExecutor:
         oracle = _RegistryOracle(self.db.registry)
         try:
             plan = plan_select(statement.select, self.db.catalog, resolver)
-            plan = optimize(plan, oracle)
+            plan = optimize(
+                plan, oracle, parallelism=self.db.parallelism
+            )
             lines = explain_plan(plan, oracle, batch_size=self.db.batch_size)
         finally:
             resolver.finish()
@@ -241,6 +251,35 @@ class StatementExecutor:
             predicates = compile_all(plan.predicates, plan.schema)
             return NestedLoopJoin(
                 left, right, predicates, batch_size=batch_size
+            )
+        if isinstance(plan, LogicalExchange):
+            inner = plan.child
+            if isinstance(inner, LogicalFilter):
+                child = self._physical(inner.child, resolver, runtime)
+                predicates = compile_all(
+                    inner.predicates, inner.child.schema
+                )
+
+                def stage(batch, predicates=predicates):
+                    return apply_predicates(predicates, batch)
+
+            elif isinstance(inner, LogicalProject):
+                child = self._physical(inner.child, resolver, runtime)
+                exprs = compile_all(inner.exprs, inner.child.schema)
+
+                def stage(batch, exprs=exprs):
+                    columns = [eval_batch(fn, batch) for fn in exprs]
+                    return [
+                        [column[index] for column in columns]
+                        for index in range(len(batch))
+                    ]
+
+            else:
+                # Unknown region shape: run it serially rather than fail.
+                return self._physical(inner, resolver, runtime)
+            return Exchange(
+                child, stage, parallelism=plan.parallelism,
+                batch_size=batch_size,
             )
         if isinstance(plan, LogicalFilter):
             child = self._physical(plan.child, resolver, runtime)

@@ -21,6 +21,7 @@ from . import ast_nodes as A
 from .planner import (
     LogicalAggregate,
     LogicalDistinct,
+    LogicalExchange,
     LogicalFilter,
     LogicalJoin,
     LogicalLimit,
@@ -164,7 +165,11 @@ def _render(
         _render(plan.left, depth + 1, lines, oracle, batch_size)
         _render(plan.right, depth + 1, lines, oracle, batch_size)
         return
-    if isinstance(plan, LogicalFilter):
+    if isinstance(plan, LogicalExchange):
+        # The parallel region marker: everything below it runs across
+        # the thread pool, order preserved.
+        lines.append(pad + f"Exchange [parallel={plan.parallelism}]" + tag)
+    elif isinstance(plan, LogicalFilter):
         lines.append(pad + "Filter" + tag)
         for position, predicate in enumerate(plan.predicates):
             lines.append(

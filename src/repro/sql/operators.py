@@ -21,6 +21,8 @@ lazy until an expression needs them (by value or by handle).
 
 from __future__ import annotations
 
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Iterator, List, Optional, Sequence
 
 from ..errors import ExecutionError
@@ -389,6 +391,63 @@ class Distinct(PhysicalOp):
                     fresh.append(row)
             if fresh:
                 yield fresh
+
+
+class Exchange(PhysicalOp):
+    """Evaluate an expensive stage over child batches on a thread pool.
+
+    The optimizer inserts this above (or inside, for pushed-down scan
+    predicates) Filter/Project work whose UDFs are certified safe to run
+    concurrently — pure sandboxed UDFs have no shared state, and
+    isolated UDFs live in their own worker processes.  ``stage`` maps
+    one input batch to one output batch (e.g. an ``apply_predicates``
+    closure or a Project's column evaluation).
+
+    Ordering guarantee: batches are dispatched in child order and
+    results are *collected* in dispatch order — a FIFO of futures
+    absorbs out-of-order completion — so the output row order is
+    identical to serial evaluation.  At ``parallelism<=1`` the stage
+    runs inline with no pool and no queue: exact serial semantics.
+
+    At most ``parallelism + 1`` batches are in flight, so an early-exit
+    consumer (Limit) wastes bounded work and memory stays bounded.
+    """
+
+    def __init__(
+        self,
+        child: PhysicalOp,
+        stage: Callable[[Batch], Batch],
+        parallelism: int = 1,
+        batch_size: Optional[int] = None,
+    ):
+        self.child = child
+        self.stage = stage
+        self.parallelism = max(1, parallelism)
+        _set_batch_size(self, batch_size)
+
+    def batches(self) -> Iterator[Batch]:
+        stage = self.stage
+        if self.parallelism <= 1:
+            for batch in self.child.batches():
+                out = stage(batch)
+                if out:
+                    yield out
+            return
+        in_flight_cap = self.parallelism + 1
+        with ThreadPoolExecutor(
+            max_workers=self.parallelism, thread_name_prefix="exchange"
+        ) as pool:
+            in_flight: deque = deque()
+            for batch in self.child.batches():
+                in_flight.append(pool.submit(stage, batch))
+                if len(in_flight) >= in_flight_cap:
+                    out = in_flight.popleft().result()
+                    if out:
+                        yield out
+            while in_flight:
+                out = in_flight.popleft().result()
+                if out:
+                    yield out
 
 
 class Limit(PhysicalOp):

@@ -36,6 +36,7 @@ from . import ast_nodes as A
 from .planner import (
     LogicalAggregate,
     LogicalDistinct,
+    LogicalExchange,
     LogicalFilter,
     LogicalJoin,
     LogicalLimit,
@@ -50,6 +51,13 @@ _EQ_SELECTIVITY = 0.1
 _RANGE_SELECTIVITY = 0.3
 _DEFAULT_SELECTIVITY = 0.5
 _BUILTIN_COST = 1.0
+
+#: Minimum per-call cost (in the same abstract units as
+#: :class:`~repro.core.udf.CostHints`) before a UDF expression is worth
+#: an Exchange: cheap in-process calls lose more to thread hand-off than
+#: they gain.  Isolated UDFs always count as expensive — every call pays
+#: the IPC boundary regardless of declared cost.
+_PARALLEL_COST_THRESHOLD = 50.0
 
 
 class CostOracle:
@@ -105,13 +113,23 @@ class CostOracle:
         return (selectivity - 1.0) / cost
 
 
-def optimize(plan: LogicalPlan, oracle: Optional[CostOracle] = None) -> LogicalPlan:
-    """Apply all rewrites; returns the (mutated) plan."""
+def optimize(
+    plan: LogicalPlan,
+    oracle: Optional[CostOracle] = None,
+    parallelism: int = 1,
+) -> LogicalPlan:
+    """Apply all rewrites; returns the (mutated) plan.
+
+    ``parallelism > 1`` enables the Exchange placement pass (rewrite 5);
+    at 1 the plan is untouched by it, reproducing serial plans exactly.
+    """
     oracle = oracle or CostOracle()
     plan = _pushdown(plan)
     _fold_constants(plan, oracle)
     _order_predicates(plan, oracle)
     _select_indexes(plan)
+    if parallelism > 1:
+        plan = _place_exchanges(plan, oracle, parallelism)
     return plan
 
 
@@ -413,6 +431,131 @@ def _column_and_literal(
     if isinstance(right.value, bool) or not isinstance(right.value, int):
         return None, None, None
     return left.name, right.value, op
+
+
+# ---------------------------------------------------------------------------
+# Rewrite 5: Exchange placement (parallel UDF evaluation)
+# ---------------------------------------------------------------------------
+
+def _parallel_profile(expr: A.Expr, oracle: CostOracle) -> Tuple[bool, bool]:
+    """(safe, expensive) for evaluating ``expr`` across Exchange threads.
+
+    *Safe* is gated on the static analyzer's purity certificate: a pure
+    UDF has no shared state to race on, whether it runs in-process (each
+    thread gets its own VM context) or in a worker pool.  Native and
+    impure UDFs fall back to serial — their visible effect order must
+    match tuple-at-a-time execution.  LOB-handle parameters are also
+    serial-only: handle minting mutates per-query runtime state.
+
+    *Expensive* decides whether the Exchange is worth its thread
+    hand-offs: any isolated UDF qualifies (every call pays the process
+    boundary), otherwise the registered per-call cost must clear
+    :data:`_PARALLEL_COST_THRESHOLD`.
+    """
+    safe = True
+    expensive = False
+    for call in _function_calls(expr):
+        definition = oracle.udf_definition(call.name.lower())
+        if definition is None:
+            continue  # built-in: cheap and thread-safe
+        if "handle" in definition.signature.param_types:
+            safe = False
+            continue
+        if not definition.is_pure:
+            safe = False
+            continue
+        hints = definition.cost_hints
+        if (
+            definition.design.is_isolated
+            or hints.cost_per_call >= _PARALLEL_COST_THRESHOLD
+        ):
+            expensive = True
+    return safe, expensive
+
+
+def _place_exchanges(
+    plan: LogicalPlan, oracle: CostOracle, parallelism: int
+) -> LogicalPlan:
+    """Wrap expensive, parallel-safe Filter/Project work in Exchanges.
+
+    Children first, so a pushed-down scan predicate and a residual
+    filter each get their own region.  Joins and aggregates are left
+    serial: their UDF predicates interleave with stateful build/probe
+    structures, and the paper's workloads put UDF cost in scans and
+    projections.
+    """
+    for attr in ("child", "left", "right"):
+        child = getattr(plan, attr, None)
+        if child is not None:
+            setattr(plan, attr, _place_exchanges(child, oracle, parallelism))
+    if isinstance(plan, LogicalScan):
+        return _hoist_scan_suffix(plan, oracle, parallelism)
+    if isinstance(plan, LogicalFilter):
+        return _split_filter(plan, oracle, parallelism)
+    if isinstance(plan, LogicalProject):
+        profiles = [_parallel_profile(expr, oracle) for expr in plan.exprs]
+        if profiles and all(safe for safe, __ in profiles) and any(
+            expensive for __, expensive in profiles
+        ):
+            return LogicalExchange(plan, parallelism=parallelism)
+    return plan
+
+
+def _parallel_split(
+    predicates: List[A.Expr], oracle: CostOracle
+) -> Optional[int]:
+    """Index where a rank-ordered conjunct list goes parallel, or None.
+
+    The split keeps a serial prefix (cheap and/or unsafe predicates run
+    where they always did) and hoists the longest all-safe suffix that
+    starts at an expensive predicate.  Conjuncts still apply in rank
+    order over each other's survivors, so row sets, row order, and UDF
+    invocation patterns match serial evaluation.
+    """
+    split = len(predicates)
+    while split > 0 and _parallel_profile(predicates[split - 1], oracle)[0]:
+        split -= 1
+    for index in range(split, len(predicates)):
+        if _parallel_profile(predicates[index], oracle)[1]:
+            return index
+    return None
+
+
+def _hoist_scan_suffix(
+    scan: LogicalScan, oracle: CostOracle, parallelism: int
+) -> LogicalPlan:
+    """Hoist a scan's expensive pushed-down conjuncts into an Exchange.
+
+    Pushdown (rewrite 1) moved UDF predicates into the scan; to evaluate
+    them on a thread pool they come back out — as a Filter wrapped in an
+    Exchange directly above the scan, which still sees them "at the
+    early stages of the plan".  The cheap serial prefix stays in the
+    scan, discarding most tuples before they cross a thread boundary.
+    """
+    start = _parallel_split(scan.predicates, oracle)
+    if start is None:
+        return scan
+    hoisted = scan.predicates[start:]
+    scan.predicates = scan.predicates[:start]
+    return LogicalExchange(
+        LogicalFilter(scan, predicates=hoisted), parallelism=parallelism
+    )
+
+
+def _split_filter(
+    node: LogicalFilter, oracle: CostOracle, parallelism: int
+) -> LogicalPlan:
+    start = _parallel_split(node.predicates, oracle)
+    if start is None:
+        return node
+    if start == 0:
+        return LogicalExchange(node, parallelism=parallelism)
+    hoisted = node.predicates[start:]
+    node.predicates = node.predicates[:start]
+    return LogicalExchange(
+        LogicalFilter(node, predicates=hoisted), parallelism=parallelism
+    )
+
 
 
 def _function_calls(expr: A.Expr) -> List[A.FuncCall]:

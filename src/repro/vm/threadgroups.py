@@ -49,6 +49,10 @@ class ThreadGroup:
         self.memory_budget = memory_budget
         self._fuel_reserved = 0
         self._memory_reserved = 0
+        # holder label -> (fuel, memory) currently reserved under it.
+        # Worker pools label per-worker claims ("udf/worker3") so a DBA
+        # can see which process a reservation belongs to.
+        self._holders: Dict[str, List[int]] = {}
 
     def adopt_account(self, account: ResourceAccount) -> ResourceAccount:
         """Register an invocation's account with the group."""
@@ -75,6 +79,7 @@ class ThreadGroup:
         memory: int,
         wait: bool = False,
         timeout: Optional[float] = None,
+        holder: Optional[str] = None,
     ) -> None:
         """Claim worst-case resources for one query's invocations.
 
@@ -82,7 +87,10 @@ class ThreadGroup:
         remaining budget (immediately with ``wait=False``; after other
         queries release without making room, with ``wait=True`` and a
         ``timeout``).  A claim exceeding the *whole* budget is refused
-        outright — waiting could never admit it.
+        outright — waiting could never admit it.  ``holder`` optionally
+        labels the claim (e.g. one label per pool worker) so
+        :attr:`reservations_by_holder` can attribute the group's reserved
+        totals to individual execution units.
         """
         with self._admission:
             if self._killed:
@@ -123,12 +131,25 @@ class ThreadGroup:
                     )
             self._fuel_reserved += fuel
             self._memory_reserved += memory
+            if holder is not None:
+                entry = self._holders.setdefault(holder, [0, 0])
+                entry[0] += fuel
+                entry[1] += memory
 
-    def release(self, fuel: int, memory: int) -> None:
+    def release(
+        self, fuel: int, memory: int, holder: Optional[str] = None
+    ) -> None:
         """Return a reservation; wakes queued :meth:`reserve` callers."""
         with self._admission:
             self._fuel_reserved = max(0, self._fuel_reserved - fuel)
             self._memory_reserved = max(0, self._memory_reserved - memory)
+            if holder is not None:
+                entry = self._holders.get(holder)
+                if entry is not None:
+                    entry[0] = max(0, entry[0] - fuel)
+                    entry[1] = max(0, entry[1] - memory)
+                    if entry == [0, 0]:
+                        del self._holders[holder]
             self._admission.notify_all()
 
     @property
@@ -137,6 +158,15 @@ class ThreadGroup:
             return {
                 "fuel": self._fuel_reserved,
                 "memory": self._memory_reserved,
+            }
+
+    @property
+    def reservations_by_holder(self) -> Dict[str, dict]:
+        """Labelled claims: holder -> {fuel, memory} currently reserved."""
+        with self._lock:
+            return {
+                holder: {"fuel": entry[0], "memory": entry[1]}
+                for holder, entry in self._holders.items()
             }
 
     def spawn(

@@ -26,6 +26,28 @@ from .report import render
 from .workload import BenchmarkWorkload
 
 
+def _observability_stats(parallelism: int) -> dict:
+    """A small metrics-enabled run's ``db.stats()`` dump.
+
+    Registers one sandboxed UDF over a tiny table and runs a single
+    SELECT, so ``--stats`` shows the shape of the per-UDF and
+    per-operator metrics alongside the raw channel counters.
+    """
+    from ..database import Database
+
+    with Database(metrics=True, parallelism=parallelism) as db:
+        db.execute("CREATE TABLE obs_demo (id INT, v INT)")
+        for value in range(32):
+            db.execute(f"INSERT INTO obs_demo VALUES ({value}, {value})")
+        db.execute(
+            "CREATE FUNCTION obs_triple(int) RETURNS int LANGUAGE JAGUAR "
+            "DESIGN SANDBOX AS "
+            "'def obs_triple(x: int) -> int: return 3 * x'"
+        )
+        db.query("SELECT obs_triple(v) FROM obs_demo WHERE id <= 15")
+        return db.stats()
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
@@ -60,7 +82,8 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--stats", action="store_true",
         help="print the isolated design's per-worker channel counters "
-        "for one pooled batch and exit",
+        "for one pooled batch plus a metrics-enabled run's db.stats() "
+        "dump, then exit",
     )
     args = parser.parse_args(argv)
     wanted = {piece.strip() for piece in args.figures.split(",")}
@@ -78,6 +101,8 @@ def main(argv=None) -> int:
         ) as workload:
             stats = measure_pool_channel_stats(workload, 100, level)
         print(json.dumps(stats, indent=2, sort_keys=True))
+        print(json.dumps(_observability_stats(level), indent=2,
+                         sort_keys=True))
         return 0
 
     if "table1" in wanted:

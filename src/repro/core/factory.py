@@ -32,6 +32,13 @@ class UDFExecutor(abc.ABC):
     registry shuts down).
     """
 
+    #: Per-query :class:`~repro.obs.profile.UDFProfile`, attached by the
+    #: statement executor's UDF resolver when observability collects and
+    #: reset to ``None`` at query teardown.  A class attribute, so the
+    #: default (off) costs executors neither per-instance state nor any
+    #: hot-path work beyond one ``is None`` test per batch.
+    profile = None
+
     def __init__(self, definition: UDFDefinition, env: ServerEnvironment):
         self.definition = definition
         self.env = env

@@ -15,6 +15,7 @@ server state it can import.  (Tests demonstrate both.)
 
 from __future__ import annotations
 
+from time import perf_counter_ns
 from typing import Callable, Optional, Sequence
 
 from .factory import UDFExecutor
@@ -56,23 +57,53 @@ class NativeIntegratedExecutor(UDFExecutor):
         super().begin_query(binding)
         self._ctx = NativeUDFContext(self.binding)
 
-    def invoke(self, args: Sequence[object]) -> object:
-        if self.binding is None:
-            self.begin_query()
+    def _raw_invoke(self, args: Sequence[object]) -> object:
+        """The unrecorded call path (SFI re-enters here with guards on)."""
         if self._takes_ctx:
             return self._func(self._ctx, *args)
         return self._func(*args)
 
-    def invoke_batch(self, args_list: Sequence[Sequence[object]]) -> list:
+    def _raw_invoke_batch(self, args_list: Sequence[Sequence[object]]) -> list:
         # Hoist the binding check and ctx dispatch out of the loop; the
         # remaining per-call cost is the bare host-callable invocation.
-        if self.binding is None:
-            self.begin_query()
         func = self._func
         if self._takes_ctx:
             ctx = self._ctx
             return [func(ctx, *args) for args in args_list]
         return [func(*args) for args in args_list]
+
+    def invoke(self, args: Sequence[object]) -> object:
+        if self.binding is None:
+            self.begin_query()
+        prof = self.profile
+        if prof is None:
+            return self._raw_invoke(args)
+        started = perf_counter_ns()
+        try:
+            result = self._raw_invoke(args)
+        except BaseException as exc:
+            prof.record_error(exc)
+            raise
+        prof.record_invocations(1, perf_counter_ns() - started)
+        return result
+
+    def invoke_batch(self, args_list: Sequence[Sequence[object]]) -> list:
+        if self.binding is None:
+            self.begin_query()
+        prof = self.profile
+        if prof is None:
+            return self._raw_invoke_batch(args_list)
+        started = perf_counter_ns()
+        try:
+            results = self._raw_invoke_batch(args_list)
+        except BaseException as exc:
+            prof.record_error(exc)
+            raise
+        if args_list:
+            prof.record_invocations(
+                len(args_list), perf_counter_ns() - started
+            )
+        return results
 
     def end_query(self) -> None:
         super().end_query()

@@ -49,6 +49,7 @@ import pickle
 import queue
 import signal
 import struct
+from time import perf_counter_ns
 from typing import List, Optional, Sequence, Tuple
 
 from ..errors import CallbackError, UDFCrashed, UDFInvocationError, VMError
@@ -256,10 +257,20 @@ class _Worker:
         return f"exit code {code}"
 
     def send(self, msg_type: int, payload: bytes) -> None:
-        self.channel.server_send(msg_type, payload, self.death)
+        try:
+            self.channel.server_send(msg_type, payload, self.death)
+        except UDFCrashed as exc:
+            if exc.worker_index is None:
+                exc.worker_index = self.index
+            raise
 
     def recv(self) -> Tuple[int, bytes]:
-        return self.channel.server_recv(self.death)
+        try:
+            return self.channel.server_recv(self.death)
+        except UDFCrashed as exc:
+            if exc.worker_index is None:
+                exc.worker_index = self.index
+            raise
 
     def close(self) -> None:
         process = self.process
@@ -387,6 +398,12 @@ class WorkerPool:
             worker.close()
 
 
+def _stamp_shard(exc: BaseException, start: int, stop: int) -> None:
+    """Attach the in-flight row range to a worker-crash exception."""
+    if isinstance(exc, UDFCrashed) and exc.shard is None:
+        exc.shard = (start, stop)
+
+
 def _split_shards(tuples: tuple, count: int) -> List[tuple]:
     """Contiguous near-even shards; concatenation restores input order."""
     base, extra = divmod(len(tuples), count)
@@ -472,9 +489,16 @@ class RemoteExecutor(UDFExecutor):
         """Server-side IPC traffic counters (for benchmarks/audits).
 
         Flat keys aggregate every worker channel; ``per_worker`` breaks
-        the same counters out per process.
+        the same counters out per process.  When a profile is attached,
+        the pool's queue-wait and shm round-trip latency summaries ride
+        along under ``queue_wait_ns``/``round_trip_ns``.
         """
-        return self._pool.stats()
+        stats = self._pool.stats()
+        prof = self.profile
+        if prof is not None:
+            stats["queue_wait_ns"] = prof.queue_wait_ns.summary()
+            stats["round_trip_ns"] = prof.round_trip_ns.summary()
+        return stats
 
     # -- admission ------------------------------------------------------------
 
@@ -579,12 +603,30 @@ class RemoteExecutor(UDFExecutor):
             raise UDFInvocationError("remote executor is closed")
         if self.binding is None:
             self.begin_query()
+        prof = self.profile
+        if prof is None:
+            worker = self._pool.checkout()
+            try:
+                worker.send(MSG_INVOKE, _dumps(tuple(args)))
+                return self._collect(worker, MSG_RESULT)
+            finally:
+                self._pool.checkin(worker)
+        started = perf_counter_ns()
         worker = self._pool.checkout()
+        dispatched = perf_counter_ns()
+        prof.queue_wait_ns.observe(dispatched - started)
         try:
             worker.send(MSG_INVOKE, _dumps(tuple(args)))
-            return self._collect(worker, MSG_RESULT)
+            result = self._collect(worker, MSG_RESULT)
+        except BaseException as exc:
+            prof.record_error(exc)
+            raise
         finally:
             self._pool.checkin(worker)
+        ended = perf_counter_ns()
+        prof.round_trip_ns.observe(ended - dispatched)
+        prof.record_invocations(1, ended - started)
+        return result
 
     def invoke_batch(self, args_list: Sequence[Sequence[object]]) -> list:
         """Shard one batch across idle workers, pipelined, order kept.
@@ -611,15 +653,30 @@ class RemoteExecutor(UDFExecutor):
         if self.binding is None:
             self.begin_query()
         pool = self._pool
+        prof = self.profile
         tuples = tuple(tuple(args) for args in args_list)
         want = min(pool.size, max(1, len(tuples) // _MIN_SHARD_ROWS))
+        started = perf_counter_ns() if prof is not None else 0
         worker = pool.checkout()
         if want == 1:
+            dispatched = perf_counter_ns() if prof is not None else 0
+            if prof is not None:
+                prof.queue_wait_ns.observe(dispatched - started)
             try:
                 worker.send(MSG_INVOKE_BATCH, _dumps(tuples))
-                return self._collect(worker, MSG_RESULT_BATCH)
+                results = self._collect(worker, MSG_RESULT_BATCH)
+            except BaseException as exc:
+                _stamp_shard(exc, 0, len(tuples))
+                if prof is not None:
+                    prof.record_error(exc)
+                raise
             finally:
                 pool.checkin(worker)
+            if prof is not None:
+                ended = perf_counter_ns()
+                prof.round_trip_ns.observe(ended - dispatched)
+                prof.record_invocations(len(tuples), ended - started)
+            return results
         workers = [worker]
         while len(workers) < want:
             extra = pool.checkout_nowait()
@@ -627,16 +684,28 @@ class RemoteExecutor(UDFExecutor):
                 break
             workers.append(extra)
         shards = _split_shards(tuples, len(workers))
+        # Cumulative row offsets: shard ``i`` covers the half-open input
+        # range ``[offsets[i], offsets[i + 1])`` — the crash report's
+        # shard slice.
+        offsets = [0]
+        for shard in shards:
+            offsets.append(offsets[-1] + len(shard))
+        if prof is not None:
+            prof.queue_wait_ns.observe(perf_counter_ns() - started)
         results: list = []
         errors: List[Tuple[int, Exception]] = []
         sent: List[_Worker] = []
+        sent_at: List[int] = []
         try:
             for index, (shard_worker, shard) in enumerate(
                 zip(workers, shards)
             ):
                 try:
+                    if prof is not None:
+                        sent_at.append(perf_counter_ns())
                     shard_worker.send(MSG_INVOKE_BATCH, _dumps(shard))
                 except Exception as exc:
+                    _stamp_shard(exc, offsets[index], offsets[index + 1])
                     errors.append((index, exc))
                     break  # later shards were never dispatched
                 sent.append(shard_worker)
@@ -647,8 +716,13 @@ class RemoteExecutor(UDFExecutor):
                 try:
                     part = self._collect(shard_worker, MSG_RESULT_BATCH)
                 except Exception as exc:
+                    _stamp_shard(exc, offsets[index], offsets[index + 1])
                     errors.append((index, exc))
                     continue
+                if prof is not None:
+                    prof.round_trip_ns.observe(
+                        perf_counter_ns() - sent_at[index]
+                    )
                 if not errors:
                     results.extend(part)
         finally:
@@ -657,7 +731,12 @@ class RemoteExecutor(UDFExecutor):
         if errors:
             # Shards are contiguous, so the lowest shard's failure is
             # the earliest input row's failure — what serial raises.
-            raise min(errors, key=lambda pair: pair[0])[1]
+            first = min(errors, key=lambda pair: pair[0])[1]
+            if prof is not None:
+                prof.record_error(first)
+            raise first
+        if prof is not None:
+            prof.record_invocations(len(tuples), perf_counter_ns() - started)
         return results
 
     # -- teardown ----------------------------------------------------------------

@@ -26,6 +26,7 @@ verified before the catalog accepts them.
 from __future__ import annotations
 
 import threading
+from time import perf_counter_ns
 from typing import Optional, Sequence
 
 from ..errors import UDFRegistrationError
@@ -225,16 +226,37 @@ class SandboxExecutor(UDFExecutor):
     def invoke(self, args: Sequence[object]) -> object:
         if self._context is None:
             self.begin_query()
-        self._context.account.reset()  # the quota is per invocation
+        account = self._context.account
+        account.reset()  # the quota is per invocation
         loaded = self._loaded
         saved = loaded.use_jit
         loaded.use_jit = self._use_jit
+        prof = self.profile
+        if prof is None:
+            try:
+                return loaded.invoke(
+                    self.definition.entry, args, context=self._context
+                )
+            finally:
+                loaded.use_jit = saved
+        started = perf_counter_ns()
         try:
-            return loaded.invoke(
+            result = loaded.invoke(
                 self.definition.entry, args, context=self._context
             )
+        except BaseException as exc:
+            prof.record_error(exc)
+            raise
         finally:
             loaded.use_jit = saved
+        prof.record_invocations(1, perf_counter_ns() - started)
+        # The account was reset at call entry, so the delta from its
+        # limits is exactly this invocation's consumption.
+        prof.record_resources(
+            account.fuel_limit - account.fuel,
+            account.memory_limit - account.memory,
+        )
+        return result
 
     def _certified_call_bounds(self) -> tuple:
         """Constant certified per-invocation (fuel, mem) bounds, or Nones."""
@@ -267,6 +289,11 @@ class SandboxExecutor(UDFExecutor):
         invoke_one = self._loaded.make_invoker(
             self.definition.entry, context, use_jit=self._use_jit
         )
+        prof = self.profile
+        if prof is not None:
+            return self._invoke_batch_profiled(
+                args_list, account, invoke_one, prof
+            )
         fuel_need, mem_need = self._certified_call_bounds()
         results = []
         if fuel_need is None or mem_need is None:
@@ -279,6 +306,39 @@ class SandboxExecutor(UDFExecutor):
                 if account.fuel < fuel_need or account.memory < mem_need:
                     account.reset()
                 results.append(invoke_one(args))
+        return results
+
+    def _invoke_batch_profiled(self, args_list, account, invoke_one, prof):
+        """The batch loop with per-call fuel/heap attribution.
+
+        Uses the reset-per-call baseline (eliding resets would fold
+        several invocations' consumption into one opaque window); quota
+        semantics are identical — elision is only ever an optimization.
+        All accumulation is local-variable arithmetic; the profile is
+        touched once per batch.
+        """
+        fuel_limit = account.fuel_limit
+        mem_limit = account.memory_limit
+        fuel_used = 0
+        heap_used = 0
+        results = []
+        started = perf_counter_ns()
+        try:
+            for args in args_list:
+                account.reset()  # the quota is per invocation
+                results.append(invoke_one(args))
+                fuel_used += fuel_limit - account.fuel
+                heap_used += mem_limit - account.memory
+        except BaseException as exc:
+            prof.record_error(exc)
+            raise
+        finally:
+            if args_list:
+                prof.record_resources(fuel_used, heap_used)
+        if args_list:
+            prof.record_invocations(
+                len(args_list), perf_counter_ns() - started
+            )
         return results
 
     def end_query(self) -> None:

@@ -66,6 +66,8 @@ class Database:
         use_jit: bool = True,
         batch_size: int = DEFAULT_BATCH_SIZE,
         parallelism: int = 1,
+        metrics: bool = False,
+        adaptive: bool = False,
     ):
         self.path = path
         if path is None:
@@ -94,6 +96,14 @@ class Database:
         )
         self.batch_size = batch_size
         self.parallelism = parallelism
+        from .obs import Observability
+
+        #: Runtime observability switchboard: ``metrics=True`` collects
+        #: cumulative counters/histograms (``db.stats()``), and
+        #: ``adaptive=True`` feeds observed UDF costs and predicate
+        #: selectivities back into the optimizer.  Both default off, in
+        #: which case execution takes the uninstrumented code paths.
+        self.observability = Observability(metrics=metrics, adaptive=adaptive)
         self.registry = UDFRegistry(self.environment)
         self._executor = StatementExecutor(self)
         self._reload_udfs()
@@ -147,6 +157,15 @@ class Database:
     def query(self, sql: str) -> List[tuple]:
         """Shorthand: execute and return the rows."""
         return self.execute(sql).rows
+
+    def stats(self) -> dict:
+        """JSON-able observability dump: metrics plus adaptive feedback.
+
+        ``metrics`` is the cumulative registry snapshot (None unless
+        ``Database(metrics=True)``); ``adaptive`` is the feedback
+        store's state (None unless ``Database(adaptive=True)``).
+        """
+        return self.observability.stats()
 
     # -- programmatic data path (used by workload generators) ---------------------
 

@@ -178,7 +178,19 @@ class UDFInvocationError(UDFError):
 
 
 class UDFCrashed(UDFError):
-    """An isolated UDF executor process died; the server survived."""
+    """An isolated UDF executor process died; the server survived.
+
+    ``worker_index`` is the pool worker that died and ``shard`` the
+    half-open ``(start, stop)`` row range of the batch that worker held
+    when it went down — so a crash report names exactly which rows were
+    in flight.  Both stay ``None`` when the context is unknown (e.g. a
+    crash outside any dispatch).
+    """
+
+    def __init__(self, message: str, worker_index=None, shard=None):
+        super().__init__(message)
+        self.worker_index = worker_index
+        self.shard = shard
 
 
 class CallbackError(UDFError):

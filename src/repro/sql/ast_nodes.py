@@ -196,6 +196,12 @@ class DropFunction(Statement):
 
 @dataclass(frozen=True)
 class Explain(Statement):
-    """EXPLAIN SELECT ...: show the optimized plan instead of running it."""
+    """EXPLAIN [ANALYZE] SELECT ...: show the optimized plan.
+
+    Plain EXPLAIN plans without executing; EXPLAIN ANALYZE also runs the
+    query and annotates every operator with the rows/batches/time it
+    actually produced plus a per-UDF profile section.
+    """
 
     select: Select
+    analyze: bool = False

@@ -40,6 +40,7 @@ from .operators import (
     SeqScan,
     Sort,
     apply_predicates,
+    instrument_operator,
 )
 from .optimizer import CostOracle, optimize
 from .planner import (
@@ -83,11 +84,19 @@ class QueryResult:
 
 
 class _QueryUDFResolver(FunctionResolver):
-    """Resolves UDF names to per-query executors, creating them lazily."""
+    """Resolves UDF names to per-query executors, creating them lazily.
 
-    def __init__(self, registry, binding):
+    When a :class:`~repro.obs.profile.QueryProfile` is active, each
+    executor gets its pre-bound (function, design) profile handle before
+    ``begin_query`` — admission refusals at pool setup are recorded too
+    — and loses it again at ``finish`` (in-process executors are shared
+    across queries; the handle must not outlive this one).
+    """
+
+    def __init__(self, registry, binding, profile=None):
         self.registry = registry
         self.binding = binding
+        self.profile = profile
         self.executors: Dict[str, object] = {}
 
     def resolve_udf(self, name: str):
@@ -97,19 +106,51 @@ class _QueryUDFResolver(FunctionResolver):
         executor = self.executors.get(key)
         if executor is None:
             executor = self.registry.executor_for_query(key)
-            executor.begin_query(self.binding)
+            if self.profile is not None:
+                executor.profile = self.profile.udf(
+                    key, executor.definition.design.value
+                )
+            try:
+                executor.begin_query(self.binding)
+            except BaseException as exc:
+                if executor.profile is not None:
+                    executor.profile.record_error(exc)
+                executor.profile = None
+                raise
             self.executors[key] = executor
         return executor, executor.definition.signature.param_types
 
     def finish(self) -> None:
         for executor in self.executors.values():
-            executor.end_query()
+            try:
+                executor.end_query()
+            finally:
+                executor.profile = None
         self.executors.clear()
 
 
 class _RegistryOracle(CostOracle):
-    def __init__(self, registry):
+    """Cost oracle over the UDF registry, with optional adaptive feedback.
+
+    ``adaptive`` is the database's
+    :class:`~repro.obs.adaptive.AdaptiveFeedback` store (or None); when
+    present and an estimate has crossed its evidence threshold, the
+    observed number overrides the static hint.
+    """
+
+    def __init__(self, registry, adaptive=None):
         self.registry = registry
+        self.adaptive = adaptive
+
+    def observed_cost(self, name: str):
+        if self.adaptive is None:
+            return None
+        return self.adaptive.observed_cost(name)
+
+    def observed_selectivity(self, key: str):
+        if self.adaptive is None:
+            return None
+        return self.adaptive.observed_selectivity(key)
 
     def udf_hints(self, name: str):
         if self.registry is not None and self.registry.has(name):
@@ -183,39 +224,69 @@ class StatementExecutor:
     # -- SELECT ------------------------------------------------------------------
 
     def execute_select(self, select: A.Select) -> QueryResult:
+        obs = self.db.observability
+        profile = obs.query_profile()
         binding = self.db.broker.bind()
-        resolver = _QueryUDFResolver(self.db.registry, binding)
+        resolver = _QueryUDFResolver(self.db.registry, binding, profile)
         runtime = QueryRuntime(lobs=self.db.lobs, binding=binding)
         try:
             plan = plan_select(select, self.db.catalog, resolver)
             plan = optimize(
                 plan,
-                _RegistryOracle(self.db.registry),
+                _RegistryOracle(self.db.registry, obs.adaptive),
                 parallelism=self.db.parallelism,
             )
-            root = self._physical(plan, resolver, runtime)
+            root = self._physical(plan, resolver, runtime, profile)
             rows = [tuple(row) for row in root.rows()]
             return QueryResult(
                 columns=plan.schema.names(), rows=rows, rowcount=len(rows)
             )
         finally:
             resolver.finish()
+            if profile is not None:
+                profile.finish()
 
     def execute_explain(self, statement: A.Explain) -> QueryResult:
-        """Plan + optimize without executing; one row per plan line."""
-        from .explain import explain_plan
+        """Plan + optimize (and, for ANALYZE, execute); one row per line.
 
+        ``EXPLAIN ANALYZE`` runs the query against a forced, private
+        profile so the rendered actuals are this one run's: operator
+        head lines gain ``(actual rows=... time=...)`` and a per-UDF
+        profile section follows the plan.  Adaptive feedback (when
+        enabled) still accumulates, since the query really executed.
+        """
+        from .explain import explain_plan, udf_profile_lines
+
+        obs = self.db.observability
+        profile = (
+            obs.query_profile(force=True) if statement.analyze else None
+        )
         binding = self.db.broker.bind()
-        resolver = _QueryUDFResolver(self.db.registry, binding)
-        oracle = _RegistryOracle(self.db.registry)
+        resolver = _QueryUDFResolver(self.db.registry, binding, profile)
+        runtime = QueryRuntime(lobs=self.db.lobs, binding=binding)
+        oracle = _RegistryOracle(self.db.registry, obs.adaptive)
         try:
             plan = plan_select(statement.select, self.db.catalog, resolver)
             plan = optimize(
                 plan, oracle, parallelism=self.db.parallelism
             )
-            lines = explain_plan(plan, oracle, batch_size=self.db.batch_size)
+            if statement.analyze:
+                root = self._physical(plan, resolver, runtime, profile)
+                for __ in root.batches():
+                    pass
+            lines = explain_plan(
+                plan, oracle, batch_size=self.db.batch_size,
+                analysis=profile,
+            )
+            if statement.analyze:
+                profiled = udf_profile_lines(profile)
+                if profiled:
+                    lines.append("-- UDF profiles --")
+                    lines.extend(profiled)
         finally:
             resolver.finish()
+            if profile is not None:
+                profile.finish()
         return QueryResult(
             columns=["plan"],
             rows=[(line,) for line in lines],
@@ -227,6 +298,20 @@ class StatementExecutor:
         plan: LogicalPlan,
         resolver: _QueryUDFResolver,
         runtime: QueryRuntime,
+        profile=None,
+    ) -> PhysicalOp:
+        op = self._build_physical(plan, resolver, runtime, profile)
+        if profile is not None and profile.track_operators:
+            stats = profile.operator(plan, type(op).__name__)
+            instrument_operator(op, stats)
+        return op
+
+    def _build_physical(
+        self,
+        plan: LogicalPlan,
+        resolver: _QueryUDFResolver,
+        runtime: QueryRuntime,
+        profile=None,
     ) -> PhysicalOp:
         pool = self.db.pool
         batch_size = self.db.batch_size
@@ -234,8 +319,21 @@ class StatementExecutor:
         def compile_all(exprs, schema):
             return [compile_expr(e, schema, resolver, runtime) for e in exprs]
 
+        def compile_predicates(exprs, schema):
+            """Predicate conjuncts, probed when adaptive feedback wants
+            their observed selectivity."""
+            fns = compile_all(exprs, schema)
+            if profile is not None and profile.wants_selectivity:
+                from .explain import render_expr
+
+                fns = [
+                    profile.predicate_probe(render_expr(expr), fn)
+                    for expr, fn in zip(exprs, fns)
+                ]
+            return fns
+
         if isinstance(plan, LogicalScan):
-            predicates = compile_all(plan.predicates, plan.schema)
+            predicates = compile_predicates(plan.predicates, plan.schema)
             if plan.index is not None:
                 return IndexScan(
                     pool, plan.table_info, plan.index,
@@ -246,17 +344,19 @@ class StatementExecutor:
                 pool, plan.table_info, predicates, batch_size=batch_size
             )
         if isinstance(plan, LogicalJoin):
-            left = self._physical(plan.left, resolver, runtime)
-            right = self._physical(plan.right, resolver, runtime)
-            predicates = compile_all(plan.predicates, plan.schema)
+            left = self._physical(plan.left, resolver, runtime, profile)
+            right = self._physical(plan.right, resolver, runtime, profile)
+            predicates = compile_predicates(plan.predicates, plan.schema)
             return NestedLoopJoin(
                 left, right, predicates, batch_size=batch_size
             )
         if isinstance(plan, LogicalExchange):
             inner = plan.child
             if isinstance(inner, LogicalFilter):
-                child = self._physical(inner.child, resolver, runtime)
-                predicates = compile_all(
+                child = self._physical(
+                    inner.child, resolver, runtime, profile
+                )
+                predicates = compile_predicates(
                     inner.predicates, inner.child.schema
                 )
 
@@ -264,7 +364,9 @@ class StatementExecutor:
                     return apply_predicates(predicates, batch)
 
             elif isinstance(inner, LogicalProject):
-                child = self._physical(inner.child, resolver, runtime)
+                child = self._physical(
+                    inner.child, resolver, runtime, profile
+                )
                 exprs = compile_all(inner.exprs, inner.child.schema)
 
                 def stage(batch, exprs=exprs):
@@ -276,25 +378,25 @@ class StatementExecutor:
 
             else:
                 # Unknown region shape: run it serially rather than fail.
-                return self._physical(inner, resolver, runtime)
+                return self._build_physical(inner, resolver, runtime, profile)
             return Exchange(
                 child, stage, parallelism=plan.parallelism,
                 batch_size=batch_size,
             )
         if isinstance(plan, LogicalFilter):
-            child = self._physical(plan.child, resolver, runtime)
+            child = self._physical(plan.child, resolver, runtime, profile)
             return Filter(
-                child, compile_all(plan.predicates, plan.child.schema),
+                child, compile_predicates(plan.predicates, plan.child.schema),
                 batch_size=batch_size,
             )
         if isinstance(plan, LogicalProject):
-            child = self._physical(plan.child, resolver, runtime)
+            child = self._physical(plan.child, resolver, runtime, profile)
             return Project(
                 child, compile_all(plan.exprs, plan.child.schema),
                 batch_size=batch_size,
             )
         if isinstance(plan, LogicalAggregate):
-            child = self._physical(plan.child, resolver, runtime)
+            child = self._physical(plan.child, resolver, runtime, profile)
             group_fns = compile_all(plan.group_exprs, plan.child.schema)
             agg_specs = [
                 (
@@ -315,18 +417,19 @@ class StatementExecutor:
             )
         if isinstance(plan, LogicalDistinct):
             return Distinct(
-                self._physical(plan.child, resolver, runtime),
+                self._physical(plan.child, resolver, runtime, profile),
                 batch_size=batch_size,
             )
         if isinstance(plan, LogicalSort):
-            child = self._physical(plan.child, resolver, runtime)
+            child = self._physical(plan.child, resolver, runtime, profile)
             key_fns = compile_all(plan.keys, plan.child.schema)
             return Sort(
                 child, key_fns, plan.descending, batch_size=batch_size
             )
         if isinstance(plan, LogicalLimit):
             return Limit(
-                self._physical(plan.child, resolver, runtime), plan.limit,
+                self._physical(plan.child, resolver, runtime, profile),
+                plan.limit,
                 batch_size=batch_size,
             )
         raise ExecutionError(f"no physical operator for {type(plan).__name__}")

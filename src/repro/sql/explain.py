@@ -81,21 +81,77 @@ def explain_plan(
     plan: LogicalPlan,
     oracle: Optional[object] = None,
     batch_size: Optional[int] = None,
+    analysis: Optional[object] = None,
 ) -> List[str]:
     """One indented line per plan node, root first.
 
     ``oracle`` (a :class:`~repro.sql.optimizer.CostOracle`) enables the
     per-predicate UDF purity/cost annotations.  ``batch_size`` (the
     executor setting the plan would run with) annotates every operator
-    with its effective batch size so plans are auditable.
+    with its effective batch size so plans are auditable.  ``analysis``
+    (a :class:`~repro.obs.profile.QueryProfile` from an ``EXPLAIN
+    ANALYZE`` run) appends the actual rows/batches/time each operator
+    produced.
     """
     lines: List[str] = []
-    _render(plan, 0, lines, oracle, batch_size)
+    _render(plan, 0, lines, oracle, batch_size, analysis)
     return lines
 
 
+def udf_profile_lines(profile: Optional[object]) -> List[str]:
+    """One ``EXPLAIN ANALYZE`` line per (UDF, design) the query ran."""
+    lines: List[str] = []
+    if profile is None:
+        return lines
+    for (name, design), udf in sorted(profile.udfs.items()):
+        calls = udf.calls.value
+        mean_us = udf.total_ns.value / calls / 1000.0 if calls else 0.0
+        p95 = udf.invoke_ns.quantile(0.95)
+        p95_us = (p95 or 0.0) / 1000.0
+        line = (
+            f"udf {name} [{design}]: calls={calls} "
+            f"batches={udf.batches.value} "
+            f"mean={mean_us:.1f}us/call p95={p95_us:.1f}us"
+        )
+        if udf.fuel_used.value or udf.heap_used.value:
+            line += (
+                f" fuel={udf.fuel_used.value} heap={udf.heap_used.value}"
+            )
+        if udf.queue_wait_ns.count:
+            wait_us = (udf.queue_wait_ns.quantile(0.5) or 0.0) / 1000.0
+            trip_us = (udf.round_trip_ns.quantile(0.5) or 0.0) / 1000.0
+            line += (
+                f" queue_wait_p50={wait_us:.1f}us "
+                f"round_trip_p50={trip_us:.1f}us"
+            )
+        if udf.crashes.value or udf.refusals.value:
+            line += (
+                f" crashes={udf.crashes.value} "
+                f"refusals={udf.refusals.value}"
+            )
+        lines.append(line)
+    return lines
+
+
+def _actual(plan: LogicalPlan, analysis: Optional[object]) -> str:
+    """`` (actual rows=N batches=M time=T ms)`` from an ANALYZE run."""
+    if analysis is None:
+        return ""
+    stats = analysis.operator_stats(plan)
+    if stats is None:
+        return ""
+    return (
+        f" (actual rows={stats.rows} batches={stats.batches} "
+        f"time={stats.time_ns / 1e6:.3f} ms)"
+    )
+
+
 def _annotate(expr: A.Expr, oracle: Optional[object]) -> str:
-    """`` -- udf f: pure, cost≈N (derived), sel=S`` for UDF predicates."""
+    """`` -- udf f: pure, cost≈N (derived), sel=S`` for UDF predicates.
+
+    When the oracle carries trusted adaptive feedback, the measured
+    numbers replace the static ones and are marked ``(observed)``.
+    """
     if oracle is None:
         return ""
     from .optimizer import _function_calls
@@ -108,10 +164,15 @@ def _annotate(expr: A.Expr, oracle: Optional[object]) -> str:
             continue
         hints = definition.cost_hints
         purity = "pure" if definition.is_pure else "impure"
-        origin = "derived" if hints.derived else "declared"
+        observed = getattr(oracle, "observed_cost", lambda n: None)(name)
+        if observed is not None:
+            cost_note = f"cost≈{observed:.0f} (observed)"
+        else:
+            origin = "derived" if hints.derived else "declared"
+            cost_note = f"cost≈{hints.cost_per_call:.0f} ({origin})"
         note = (
             f"udf {definition.name}: {purity}, "
-            f"cost≈{hints.cost_per_call:.0f} ({origin}), "
+            f"{cost_note}, "
             f"sel={hints.selectivity:.2f}"
         )
         cert = getattr(definition, "certificate", None)
@@ -125,6 +186,11 @@ def _annotate(expr: A.Expr, oracle: Optional[object]) -> str:
                 f"mem≤{describe_bound(cert.mem_bound)})"
             )
         notes.append(note)
+    sel_observed = getattr(oracle, "observed_selectivity", lambda k: None)(
+        render_expr(expr)
+    )
+    if sel_observed is not None:
+        notes.append(f"sel≈{sel_observed:.2f} (observed)")
     if not notes:
         return ""
     return "  -- " + "; ".join(notes)
@@ -136,11 +202,14 @@ def _render(
     lines: List[str],
     oracle: Optional[object] = None,
     batch_size: Optional[int] = None,
+    analysis: Optional[object] = None,
 ) -> None:
     pad = "  " * depth
     # The effective batch size the executor would run this operator at,
-    # appended to every operator head line so plans are auditable.
+    # appended to every operator head line so plans are auditable; an
+    # ANALYZE run appends what the operator actually produced.
     tag = f" [batch={batch_size}]" if batch_size is not None else ""
+    tag += _actual(plan, analysis)
     if isinstance(plan, LogicalScan):
         if plan.index is not None:
             bounds = f"[{plan.index_lo}..{plan.index_hi}]"
@@ -162,8 +231,8 @@ def _render(
                 f"{pad}  on[{position}]: {render_expr(predicate)}"
                 f"{_annotate(predicate, oracle)}"
             )
-        _render(plan.left, depth + 1, lines, oracle, batch_size)
-        _render(plan.right, depth + 1, lines, oracle, batch_size)
+        _render(plan.left, depth + 1, lines, oracle, batch_size, analysis)
+        _render(plan.right, depth + 1, lines, oracle, batch_size, analysis)
         return
     if isinstance(plan, LogicalExchange):
         # The parallel region marker: everything below it runs across
@@ -203,4 +272,4 @@ def _render(
         lines.append(pad + type(plan).__name__)
     child = getattr(plan, "child", None)
     if child is not None:
-        _render(child, depth + 1, lines, oracle, batch_size)
+        _render(child, depth + 1, lines, oracle, batch_size, analysis)

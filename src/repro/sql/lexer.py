@@ -30,7 +30,7 @@ KEYWORDS = frozenset(
     insert into values update set delete create drop table index on
     function returns language design entry callbacks cost selectivity as
     true false distinct count sum avg min max like between in exists
-    inner join cross using fuel memory explain
+    inner join cross using fuel memory explain analyze
     """.split()
 )
 

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
+from time import perf_counter_ns
 from typing import Callable, Iterator, List, Optional, Sequence
 
 from ..errors import ExecutionError
@@ -77,6 +78,39 @@ class PhysicalOp:
                 batch = []
         if batch:
             yield batch
+
+
+def instrument_operator(op: PhysicalOp, stats) -> PhysicalOp:
+    """Shadow ``op.batches`` with a counting/timing wrapper (EXPLAIN
+    ANALYZE support).
+
+    ``stats`` is any object with mutable ``rows``/``batches``/``time_ns``
+    attributes (see :class:`repro.obs.profile.OperatorStats`).  The
+    wrapper measures *inclusive* time — this operator plus everything
+    below it — per ``next()`` and counts the batches and rows produced.
+    It shadows ``batches`` on the instance, so the class stays pristine
+    and ``rows()`` (which calls ``self.batches()``) flows through it
+    too.  Uninstrumented operators pay nothing: the wrapper only exists
+    on plans built under an active query profile.
+    """
+    inner = op.batches
+
+    def batches() -> Iterator[Batch]:
+        iterator = inner()
+        while True:
+            started = perf_counter_ns()
+            try:
+                batch = next(iterator)
+            except StopIteration:
+                stats.time_ns += perf_counter_ns() - started
+                return
+            stats.time_ns += perf_counter_ns() - started
+            stats.batches += 1
+            stats.rows += len(batch)
+            yield batch
+
+    op.batches = batches
+    return op
 
 
 def _set_batch_size(op: PhysicalOp, batch_size: Optional[int]) -> None:

@@ -82,17 +82,46 @@ class CostOracle:
             "this oracle cannot evaluate UDFs at plan time"
         )
 
+    # -- adaptive feedback ------------------------------------------------
+
+    def observed_cost(self, name: str) -> Optional[float]:
+        """Measured per-call cost for a UDF, or None to stay static.
+
+        The executor's oracle wires this to the database's
+        :class:`~repro.obs.adaptive.AdaptiveFeedback` store when
+        ``Database(adaptive=True)``; the base oracle never adapts.
+        """
+        return None
+
+    def observed_selectivity(self, key: str) -> Optional[float]:
+        """Measured selectivity for a predicate (keyed by its rendered
+        SQL text), or None to stay static."""
+        return None
+
     # -- predicate metrics ------------------------------------------------
+
+    def udf_cost(self, name: str) -> Optional[float]:
+        """Per-call cost for one UDF: observed if trusted, else hinted."""
+        hints = self.udf_hints(name)
+        if hints is None:
+            return None
+        observed = self.observed_cost(name)
+        return observed if observed is not None else hints.cost_per_call
 
     def predicate_cost(self, expr: A.Expr) -> float:
         cost = _BUILTIN_COST
         for call in _function_calls(expr):
-            hints = self.udf_hints(call.name.lower())
-            if hints is not None:
-                cost += hints.cost_per_call
+            per_call = self.udf_cost(call.name.lower())
+            if per_call is not None:
+                cost += per_call
         return cost
 
     def predicate_selectivity(self, expr: A.Expr) -> float:
+        from .explain import render_expr
+
+        observed = self.observed_selectivity(render_expr(expr))
+        if observed is not None:
+            return observed
         for call in _function_calls(expr):
             hints = self.udf_hints(call.name.lower())
             if hints is not None:
@@ -464,10 +493,12 @@ def _parallel_profile(expr: A.Expr, oracle: CostOracle) -> Tuple[bool, bool]:
         if not definition.is_pure:
             safe = False
             continue
-        hints = definition.cost_hints
+        per_call = oracle.observed_cost(call.name.lower())
+        if per_call is None:
+            per_call = definition.cost_hints.cost_per_call
         if (
             definition.design.is_isolated
-            or hints.cost_per_call >= _PARALLEL_COST_THRESHOLD
+            or per_call >= _PARALLEL_COST_THRESHOLD
         ):
             expensive = True
     return safe, expensive

@@ -150,8 +150,9 @@ class _Parser:
 
     def statement(self) -> A.Statement:
         if self.accept_kw("explain"):
+            analyze = bool(self.accept_kw("analyze"))
             self.expect_kw("select")
-            return A.Explain(self.select())
+            return A.Explain(self.select(), analyze=analyze)
         if self.accept_kw("select"):
             return self.select()
         if self.accept_kw("create"):

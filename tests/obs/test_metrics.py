@@ -1,0 +1,113 @@
+"""Accuracy tests for the metrics primitives.
+
+Histogram quantiles use the nearest-rank definition and are *exact*
+while fewer than ``sample_cap`` observations exist, so they can be
+pinned against known synthetic samples.
+"""
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    Span,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = Counter("c")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(41)
+        assert counter.value == 42
+
+
+class TestHistogramQuantiles:
+    def test_exact_nearest_rank_on_1_to_100(self):
+        histogram = Histogram("h")
+        for value in range(1, 101):
+            histogram.observe(value)
+        assert histogram.quantile(0.50) == 50
+        assert histogram.quantile(0.95) == 95
+        assert histogram.quantile(0.99) == 99
+        assert histogram.quantile(1.00) == 100
+
+    def test_insertion_order_does_not_matter(self):
+        histogram = Histogram("h")
+        for value in (9, 1, 7, 3, 5, 2, 8, 4, 6, 10):
+            histogram.observe(value)
+        assert histogram.quantile(0.5) == 5
+        assert histogram.quantile(0.9) == 9
+
+    def test_single_sample_is_every_quantile(self):
+        histogram = Histogram("h")
+        histogram.observe(7.5)
+        for q in (0.01, 0.5, 0.99, 1.0):
+            assert histogram.quantile(q) == 7.5
+
+    def test_empty_histogram_has_no_quantiles(self):
+        histogram = Histogram("h")
+        assert histogram.quantile(0.5) is None
+        assert histogram.mean is None
+        summary = histogram.summary()
+        assert summary["count"] == 0
+        assert summary["p50"] is None
+
+    def test_known_small_sample(self):
+        # Nearest rank over [10, 20, 30, 40]: p50 -> ceil(0.5*4)=2nd.
+        histogram = Histogram("h")
+        for value in (40, 10, 30, 20):
+            histogram.observe(value)
+        assert histogram.quantile(0.50) == 20
+        assert histogram.quantile(0.75) == 30
+        assert histogram.quantile(0.76) == 40
+
+    def test_moments_are_exact(self):
+        histogram = Histogram("h")
+        for value in (2.0, 4.0, 6.0):
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert histogram.total == 12.0
+        assert histogram.min == 2.0
+        assert histogram.max == 6.0
+        assert histogram.mean == 4.0
+
+
+class TestHistogramRing:
+    def test_ring_keeps_recent_window(self):
+        histogram = Histogram("h", sample_cap=4)
+        for value in range(1, 9):  # 1..8; ring retains the last 4
+            histogram.observe(value)
+        assert histogram.quantile(1.0) == 8
+        assert histogram.quantile(0.25) == 5
+        # Aggregate moments still cover everything ever observed.
+        assert histogram.count == 8
+        assert histogram.min == 1
+        assert histogram.max == 8
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_handle(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+        assert registry.histogram("y") is registry.histogram("y")
+        assert registry.counter("x") is not registry.counter("z")
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("calls").inc(3)
+        registry.histogram("lat").observe(5.0)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {"calls": 3}
+        assert snapshot["histograms"]["lat"]["count"] == 1
+        assert snapshot["histograms"]["lat"]["p50"] == 5.0
+
+    def test_span_times_into_histogram(self):
+        registry = MetricsRegistry()
+        with registry.span("phase"):
+            pass
+        histogram = registry.histogram("phase")
+        assert histogram.count == 1
+        assert histogram.min >= 0

@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""Froid-style inlining sweep: per-invocation cost, opaque vs inlined.
+
+Fig 5's invocation-cost protocol re-run on a pure arithmetic UDF
+(``x * 3 + 1``) under the paper's four designs.  With ``inlining=False``
+every design pays its per-invocation overhead — call dispatch for C++,
+the shared-memory round trip for IC++, the VM entry for JNI (with or
+without the JIT).  With ``inlining=True`` the decompiler has lifted the
+sandboxed bodies into plain SQL expressions, so the JNI curves collapse
+onto the equivalent native SQL expression (``id * 3 + 1``); the native
+designs carry opaque host code, refuse with ``impure``, and keep their
+opaque cost.  ``meta.inline_status`` records the per-design verdict.
+
+Run::
+
+    python benchmarks/test_inlining.py                        # full sweep
+    python benchmarks/test_inlining.py --smoke                # CI sanity run
+    python benchmarks/test_inlining.py --out BENCH_inlining.json
+    pytest benchmarks/test_inlining.py                        # assertions only
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench.figures import INLINING_DESIGNS, run_inlining  # noqa: E402
+from repro.bench.harness import Timer  # noqa: E402
+from repro.bench.workload import BenchmarkWorkload  # noqa: E402
+from repro.core.designs import Design  # noqa: E402
+
+SANDBOXED = tuple(d for d in INLINING_DESIGNS if d.is_sandboxed)
+
+
+def run(smoke: bool = False) -> dict:
+    """Execute the sweep and return a JSON-ready result dict."""
+    cardinality = 1000 if smoke else 2000
+    invocations = 1000 if smoke else 2000
+    sizes = (1,) if smoke else (1, 100, 10000)
+    timer = Timer(repeat=1 if smoke else 5, warmup=1)
+    with BenchmarkWorkload(
+        cardinality=cardinality, sizes=sizes, use_generic=False,
+        designs=INLINING_DESIGNS,
+    ) as workload:
+        result = run_inlining(
+            workload, invocations=invocations, sizes=sizes, timer=timer
+        )
+    series = {
+        label: [{"size": x, "seconds": s} for x, s in points]
+        for label, points in result.series.items()
+    }
+    collapse = {}
+    for design in INLINING_DESIGNS:
+        opaque = dict(result.series[f"{design.paper_label} opaque"])
+        inlined = dict(result.series[f"{design.paper_label} inlined"])
+        collapse[design.paper_label] = {
+            f"Rel{size}": (
+                opaque[size] / inlined[size] if inlined[size] > 0
+                else float("inf")
+            )
+            for size in opaque
+        }
+    out = {
+        "experiment": "inlining",
+        "cardinality": cardinality,
+        "meta": result.meta,
+        "series": series,
+        "collapse_opaque_over_inlined": {
+            label: {k: round(v, 2) for k, v in ratios.items()}
+            for label, ratios in collapse.items()
+        },
+    }
+    for label, points in sorted(series.items()):
+        line = ", ".join(
+            f"Rel{p['size']}: {p['seconds'] * 1e3:8.2f} ms" for p in points
+        )
+        print(f"{label:20s} {line}")
+    return out
+
+
+def _cost(results: dict, label: str, size: int) -> float:
+    for point in results["series"][label]:
+        if point["size"] == size:
+            return point["seconds"]
+    raise KeyError((label, size))
+
+
+# -- pytest entry points ------------------------------------------------------
+
+def test_sandboxed_designs_report_inlined():
+    results = run(smoke=True)
+    status = results["meta"]["inline_status"]
+    for design in SANDBOXED:
+        assert status[design.value] == "inlined", status
+    for design in INLINING_DESIGNS:
+        if not design.is_sandboxed:
+            assert status[design.value] == "opaque(impure)", status
+
+
+def test_inlined_within_2x_of_sql_expression():
+    """Acceptance: inlined evaluation ≈ the equivalent SQL expression.
+
+    Both paths are the same compiled expression over the same scan, so
+    the comparison needs a floor: subtracting two nearly-equal timings
+    leaves noise-dominated sub-millisecond residuals.  2x on costs
+    clamped to ≥1ms is the issue's criterion with that guard.
+    """
+    results = run(smoke=True)
+    floor = 1e-3
+    sql = max(_cost(results, "SQL expr", 1), floor)
+    for design in SANDBOXED:
+        inlined = max(_cost(results, f"{design.paper_label} inlined", 1), floor)
+        assert inlined <= 2.0 * sql, (design, inlined, sql, results)
+
+
+def test_opaque_retains_invocation_overhead():
+    """Opaque sandboxed execution stays well above its inlined twin."""
+    results = run(smoke=True)
+    for design in SANDBOXED:
+        opaque = _cost(results, f"{design.paper_label} opaque", 1)
+        inlined = _cost(results, f"{design.paper_label} inlined", 1)
+        assert opaque >= 2.0 * max(inlined, 1e-4), (design, opaque, inlined)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small cardinality, Rel1 only (CI sanity run)",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=None,
+        help="write results as JSON to this path",
+    )
+    opts = parser.parse_args(argv)
+    results = run(smoke=opts.smoke)
+    jni = Design.SANDBOX_JIT.paper_label
+    ratio = results["collapse_opaque_over_inlined"][jni]["Rel1"]
+    print(f"{jni} opaque/inlined collapse at Rel1: {ratio:.2f}x")
+    print(f"inline status: {results['meta']['inline_status']}")
+    if opts.out is not None:
+        opts.out.write_text(json.dumps(results, indent=2) + "\n")
+        print(f"wrote {opts.out}")
+    return 0 if ratio >= 2.0 else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

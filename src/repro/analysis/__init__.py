@@ -17,13 +17,19 @@ ever runs:
 * :mod:`~repro.analysis.costs` — static per-invocation cost estimation
   and :func:`~repro.analysis.costs.derive_cost_hints` for UDFs
   registered without declared ``CostHints``;
+* :mod:`~repro.analysis.decompile` — Froid-style decompilation of
+  pure, loop-free (or unrollable) bodies into SQL expression templates
+  (:class:`InlineTemplate`) or structured refusals
+  (:class:`InlineRefusal`), consumed by the optimizer's inlining
+  rewrite behind ``Database(inlining=True)``;
 * :mod:`~repro.analysis.lint` — the ``python -m repro.analysis`` CLI
-  (plus the ``bounds`` subcommand printing certificates).
+  (plus the ``bounds`` and ``inline`` subcommands).
 
-The class loader invokes :func:`analyze_class` and then
-:func:`certify_class` right after verification, so every loaded
-``FunctionDef`` carries a ``summary`` and a ``certificate``, and every
-``ClassFile`` an ``analysis`` and a ``certificates`` rollup.  Consumers:
+The class loader invokes :func:`analyze_class`, :func:`certify_class`,
+and :func:`decompile_class` right after verification, so every loaded
+``FunctionDef`` carries a ``summary``, a ``certificate``, and an
+``inline`` result, and every ``ClassFile`` an ``analysis`` and a
+``certificates`` rollup.  Consumers:
 the security manager (static pre-checks at load, including the
 minimum-consumption bounds gate), the interpreter/JIT (per-instruction
 metering elision), thread-group admission control, the optimizer
@@ -45,6 +51,12 @@ from .costs import (
     OPCODE_WEIGHTS,
     derive_cost_hints,
 )
+from .decompile import (
+    InlineRefusal,
+    InlineTemplate,
+    decompile_class,
+    decompile_function,
+)
 from .effects import ClassSummary, FunctionSummary, analyze_class
 from .intervals import Bound, Interval, describe_bound
 from .lint import Finding, lint_class, report
@@ -59,6 +71,8 @@ __all__ = [
     "DERIVED_SELECTIVITY",
     "Finding",
     "FunctionSummary",
+    "InlineRefusal",
+    "InlineTemplate",
     "Interval",
     "Loop",
     "LoopBound",
@@ -68,6 +82,8 @@ __all__ = [
     "build_cfg",
     "certify_class",
     "constant_bound",
+    "decompile_class",
+    "decompile_function",
     "derive_cost_hints",
     "describe_bound",
     "lint_class",

@@ -283,6 +283,80 @@ def bounds_main(argv: Optional[List[str]] = None) -> int:
     return 0
 
 
+def inline_main(argv: Optional[List[str]] = None) -> int:
+    """``python -m repro.analysis inline`` — decompilability report.
+
+    For every UDF in every target: the lifted SQL expression the
+    optimizer would substitute at call sites (``inlinable``), or the
+    structured refusal (``refused (<reason>): detail``).  ``--strict``
+    exits nonzero only on load/verify failures — a UDF that genuinely
+    needs a loop is a fact, not a CI regression.
+    """
+    import argparse
+
+    from .decompile import InlineTemplate, decompile_class
+    from .effects import analyze_class as _analyze
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis inline",
+        description="Froid-style decompilation report over UDF classes.",
+    )
+    parser.add_argument(
+        "targets", nargs="+", type=Path,
+        help="classfile (.jagc), JagScript source, Python file with "
+             "embedded UDF payloads, or a directory of such files",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="exit nonzero when any target fails to load or verify",
+    )
+    opts = parser.parse_args(argv)
+
+    failures = 0
+    for target in _expand_targets(opts.targets):
+        try:
+            classes = load_targets(target)
+        except (OSError, ClassFormatError, CompileError,
+                UnicodeDecodeError) as exc:
+            print(f"{target}: cannot load: {exc}")
+            failures += 1
+            continue
+        if not classes:
+            print(f"{target}: no UDF payloads found")
+            continue
+        for label, cls in classes:
+            print(f"-- {label}")
+            try:
+                verify_class(
+                    cls,
+                    self_resolver(cls, callbacks=_standard_callbacks()),
+                )
+            except (VerifyError, LinkError) as exc:
+                print(f"  error: [verify] {exc}")
+                failures += 1
+                continue
+            # The decompiler consults the effect summaries; the lint
+            # path loads classes without a ClassLoader, so run the
+            # analysis here the way the loader would have.
+            _analyze(cls)
+            results = decompile_class(cls)
+            for name in sorted(results):
+                result = results[name]
+                if isinstance(result, InlineTemplate):
+                    from ..sql.explain import render_expr
+
+                    print(
+                        f"  {name}: inlinable "
+                        f"[{result.nodes} node(s)] -> "
+                        f"{render_expr(result.expr)}"
+                    )
+                else:
+                    print(f"  {name}: {result.describe()}")
+    if opts.strict and failures:
+        return 1
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     import argparse
@@ -292,6 +366,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "bounds":
         return bounds_main(argv[1:])
+    if argv and argv[0] == "inline":
+        return inline_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",

@@ -12,6 +12,7 @@ from .figures import (
     run_fig6,
     run_fig7,
     run_fig8,
+    run_inlining,
     run_table1,
 )
 from .harness import ExperimentResult, Timer
@@ -26,5 +27,6 @@ __all__ = [
     "run_fig6",
     "run_fig7",
     "run_fig8",
+    "run_inlining",
     "run_table1",
 ]

@@ -18,6 +18,7 @@ from .figures import (
     run_fig6,
     run_fig7,
     run_fig8,
+    run_inlining,
     run_parallelism,
     run_table1,
 )
@@ -66,7 +67,7 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--figures", type=str, default="table1,4,5,6,7,8",
-        help="comma-separated subset, e.g. '5,8' or 'batching'",
+        help="comma-separated subset, e.g. '5,8', 'batching', or 'inlining'",
     )
     parser.add_argument(
         "--batch-size", type=int, default=None,
@@ -109,7 +110,7 @@ def main(argv=None) -> int:
         print(render(run_table1()))
         print()
 
-    numeric = wanted & {"4", "5", "6", "7", "8", "batching", "parallelism"}
+    numeric = wanted & {"4", "5", "6", "7", "8", "batching", "parallelism", "inlining"}
     if not numeric:
         return 0
 
@@ -162,6 +163,10 @@ def main(argv=None) -> int:
             print()
         if "parallelism" in wanted:
             result = run_parallelism(workload, timer=timer, **kwargs)
+            print(render(result))
+            print()
+        if "inlining" in wanted:
+            result = run_inlining(workload, timer=timer, **kwargs)
             print(render(result))
             print()
     return 0

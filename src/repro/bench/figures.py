@@ -261,6 +261,94 @@ def measure_shm_batch_stats(
         executor.close()
 
 
+#: The paper's four execution designs: C++, IC++, JNI, and the
+#: interpreted JNI variant (Section 5's "with the JIT turned off").
+INLINING_DESIGNS = (
+    Design.NATIVE_INTEGRATED,
+    Design.NATIVE_ISOLATED,
+    Design.SANDBOX_JIT,
+    Design.SANDBOX_INTERP,
+)
+
+
+def run_inlining(
+    workload: BenchmarkWorkload,
+    invocations: int = 1000,
+    designs: Sequence[Design] = INLINING_DESIGNS,
+    sizes: Optional[Sequence[int]] = None,
+    timer: Optional[Timer] = None,
+) -> ExperimentResult:
+    """Froid-style inlining sweep: Fig 5's invocation-cost protocol
+    re-run on a pure arithmetic UDF, opaque vs inlined.
+
+    Three kinds of series, all with base table-access cost subtracted:
+
+    * ``SQL expr`` — the equivalent native SQL expression
+      (``id * 3 + 1``), the floor the inlined curves should sit on;
+    * ``<design> opaque`` — the UDF with ``inlining=False``, which
+      retains each design's per-invocation overhead;
+    * ``<design> inlined`` — the same query with ``inlining=True``.
+      Sandboxed designs collapse onto the SQL-expression line (the
+      decompiler lifts the body, so no VM is entered); native designs
+      carry opaque host code, refuse with ``impure``, and stay on
+      their opaque curve.
+
+    ``meta["inline_status"]`` records the decompiler's verdict per
+    design (``inlined`` or the structured refusal).
+    """
+    timer = timer or Timer()
+    invocations = min(invocations, workload.cardinality)
+    if sizes is None:
+        sizes = workload.sizes
+    result = ExperimentResult(
+        experiment="inlining",
+        title="UDF inlining: invocation cost, opaque vs inlined",
+        x_label="byte array size",
+        meta={"invocations": invocations, "sizes": list(sizes)},
+    )
+    status = {}
+    for design in designs:
+        inline = workload.db.registry.get(workload.arith_names[design]).inline
+        if hasattr(inline, "expr"):
+            status[design.value] = "inlined"
+        elif hasattr(inline, "reason"):
+            status[design.value] = f"opaque({inline.reason})"
+        else:
+            status[design.value] = "opaque(call-site)"
+    result.meta["inline_status"] = status
+    base_cache: Dict[Tuple[int, int], float] = {}
+
+    def base(size: int) -> float:
+        key = (size, invocations)
+        if key not in base_cache:
+            base_cache[key] = time_query(
+                workload, workload.base_query(size, invocations), timer
+            )
+        return base_cache[key]
+
+    saved = workload.db.inlining
+    try:
+        workload.db.inlining = False
+        for size in sizes:
+            sql = workload.arith_expr_query(size, invocations)
+            cost = max(time_query(workload, sql, timer) - base(size), 0.0)
+            result.add_point("SQL expr", size, cost)
+        for mode, inlining in (("opaque", False), ("inlined", True)):
+            workload.db.inlining = inlining
+            for design in designs:
+                udf = workload.arith_names[design]
+                for size in sizes:
+                    sql = workload.arith_query(size, udf, invocations)
+                    cost = max(
+                        time_query(workload, sql, timer) - base(size), 0.0
+                    )
+                    label = f"{design.paper_label} {mode}"
+                    result.add_point(label, size, cost)
+    finally:
+        workload.db.inlining = saved
+    return result
+
+
 DEFAULT_PARALLELISM_SWEEP = (1, 2, 4)
 
 

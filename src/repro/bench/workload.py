@@ -22,7 +22,11 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..core.designs import Design
-from ..core.generic_udf import generic_definition, noop_definition
+from ..core.generic_udf import (
+    arith_definition,
+    generic_definition,
+    noop_definition,
+)
 from ..database import Database
 
 DEFAULT_CARDINALITY = 2000
@@ -102,10 +106,14 @@ class BenchmarkWorkload:
     def _register_udfs(self, use_generic: bool) -> None:
         self.noop_names: Dict[Design, str] = {}
         self.generic_names: Dict[Design, str] = {}
+        self.arith_names: Dict[Design, str] = {}
         for design in self.designs:
             noop = noop_definition(design)
             self.db.register_udf(noop, persist=False)
             self.noop_names[design] = noop.name
+            arith = arith_definition(design)
+            self.db.register_udf(arith, persist=False)
+            self.arith_names[design] = arith.name
             if use_generic:
                 generic = generic_definition(design)
                 self.db.register_udf(generic, persist=False)
@@ -137,6 +145,22 @@ class BenchmarkWorkload:
         """Same scan and qualification, no UDF: the Figure 4 baseline."""
         table = self.table_name(size)
         return f"SELECT r.id FROM {table} r WHERE r.id < {invocations}"
+
+    def arith_query(self, size: int, udf_name: str, invocations: int) -> str:
+        """The inlining experiment's query: an int UDF over ``id``."""
+        table = self.table_name(size)
+        return (
+            f"SELECT {udf_name}(r.id) FROM {table} r "
+            f"WHERE r.id < {invocations}"
+        )
+
+    def arith_expr_query(self, size: int, invocations: int) -> str:
+        """Native SQL expression equivalent of the ``arith`` UDF."""
+        table = self.table_name(size)
+        return (
+            f"SELECT r.id * 3 + 1 FROM {table} r "
+            f"WHERE r.id < {invocations}"
+        )
 
     def expected_generic_result(
         self, row_id: int, size: int, num_indep: int, num_dep: int,

@@ -113,11 +113,13 @@ def validate_definition(
 ) -> Optional[object]:
     """Registration-time checks: fail at CREATE FUNCTION, not mid-query.
 
-    For sandboxed designs, returns a ``(summary, certificate)`` pair —
-    the entry function's static effect summary
-    (``repro.analysis.effects.FunctionSummary``) and resource
-    certificate (``repro.analysis.bounds.ResourceCertificate``); native
-    designs are opaque host code and return ``None``.
+    For sandboxed designs, returns a ``(summary, certificate, inline)``
+    triple — the entry function's static effect summary
+    (``repro.analysis.effects.FunctionSummary``), resource certificate
+    (``repro.analysis.bounds.ResourceCertificate``), and decompilation
+    result (``repro.analysis.decompile.InlineTemplate`` or
+    ``InlineRefusal``); native designs are opaque host code and return
+    ``None``.
     """
     if definition.design.is_sandboxed:
         from .sandbox import load_sandbox_payload

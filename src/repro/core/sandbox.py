@@ -56,11 +56,13 @@ def load_sandbox_payload(
 
     ``probe_only`` runs the full pipeline and then unloads — used at
     registration time to reject bad payloads without keeping state.  In
-    that mode the return value is a ``(summary, certificate)`` pair: the
-    entry function's static effect summary (``FunctionSummary``) and its
-    resource certificate (``ResourceCertificate``), both of which the
-    registry records on the definition; otherwise the
-    :class:`LoadedUDF` is returned.
+    that mode the return value is a ``(summary, certificate, inline)``
+    triple: the entry function's static effect summary
+    (``FunctionSummary``), its resource certificate
+    (``ResourceCertificate``), and its decompilation result
+    (``InlineTemplate`` or ``InlineRefusal``), all of which the registry
+    records on the definition; otherwise the :class:`LoadedUDF` is
+    returned.
     """
     payload = definition.payload
     class_name = f"udf_{definition.name}"
@@ -113,6 +115,7 @@ def load_sandbox_payload(
         return (
             getattr(func, "summary", None),
             getattr(func, "certificate", None),
+            getattr(func, "inline", None),
         )
     return loaded
 

@@ -94,7 +94,10 @@ class UDFDefinition:
     (:class:`~repro.analysis.effects.FunctionSummary`) once validated;
     ``certificate`` its resource certificate
     (:class:`~repro.analysis.bounds.ResourceCertificate`), when the
-    bounds pass could prove anything.
+    bounds pass could prove anything; ``inline`` its decompilation
+    result (:class:`~repro.analysis.decompile.InlineTemplate` when the
+    body lifted to a SQL expression, else an
+    :class:`~repro.analysis.decompile.InlineRefusal`).
     """
 
     name: str
@@ -108,6 +111,7 @@ class UDFDefinition:
     memory: Optional[int] = None
     analysis: Optional[object] = field(default=None, compare=False)
     certificate: Optional[object] = field(default=None, compare=False)
+    inline: Optional[object] = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         if not self.name.isidentifier():
@@ -163,6 +167,35 @@ def resolve_native_payload(payload: bytes) -> Callable:
     return func
 
 
+def _admit_inline(definition: UDFDefinition, inline: Optional[object]):
+    """Vet the decompiler's template against the SQL-facing signature.
+
+    The decompiler reasons in VM types; registration adds the SQL view.
+    ``handle`` parameters reach the VM as plain ints, but the call path
+    *mints* each handle against the query's callback binding — a side
+    effect inlining would skip — so handle-taking templates downgrade to
+    a refusal.  Native designs (no probe result) are opaque host code.
+    """
+    from ..analysis.decompile import (
+        REASON_IMPURE,
+        REASON_UNSUPPORTED,
+        InlineRefusal,
+        InlineTemplate,
+    )
+
+    if inline is None:
+        return InlineRefusal(
+            definition.name, REASON_IMPURE, "opaque native host code"
+        )
+    if (isinstance(inline, InlineTemplate)
+            and "handle" in definition.signature.param_types):
+        return InlineRefusal(
+            definition.name, REASON_UNSUPPORTED,
+            "handle parameter (handle minting is a call-path effect)",
+        )
+    return inline
+
+
 class UDFRegistry:
     """Name -> definition map with executor construction.
 
@@ -189,9 +222,12 @@ class UDFRegistry:
         from .factory import validate_definition
 
         probe = validate_definition(definition, self.environment)
-        summary, certificate = probe if probe is not None else (None, None)
+        summary, certificate, inline = (
+            probe if probe is not None else (None, None, None)
+        )
         definition.analysis = summary
         definition.certificate = certificate
+        definition.inline = _admit_inline(definition, inline)
         if definition.cost is None and summary is not None:
             from ..analysis.costs import derive_cost_hints
 

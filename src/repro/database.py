@@ -68,6 +68,7 @@ class Database:
         parallelism: int = 1,
         metrics: bool = False,
         adaptive: bool = False,
+        inlining: bool = False,
     ):
         self.path = path
         if path is None:
@@ -96,6 +97,14 @@ class Database:
         )
         self.batch_size = batch_size
         self.parallelism = parallelism
+        #: Froid-style UDF inlining: when True the optimizer replaces
+        #: call sites of decompilable pure UDFs with their lifted SQL
+        #: expression (no VM entry at all).  Mutable at runtime
+        #: (``db.inlining = True``) — the next query plans with it,
+        #: which is how the benchmark sweeps inlined vs opaque execution
+        #: over one populated database.  Off by default: seed plans and
+        #: EXPLAIN output are reproduced exactly.
+        self.inlining = bool(inlining)
         from .obs import Observability
 
         #: Runtime observability switchboard: ``metrics=True`` collects

@@ -166,6 +166,7 @@ class QueryProfile:
         self.adaptive = adaptive
         self.track_operators = track_operators
         self.udfs: Dict[Tuple[str, str], UDFProfile] = {}
+        self.inlined_udfs: Dict[str, object] = {}
         self._operators: Dict[int, OperatorStats] = {}
         self._operator_order: List[OperatorStats] = []
 
@@ -178,6 +179,22 @@ class QueryProfile:
             profile = UDFProfile(name, design, self.registry, self.adaptive)
             self.udfs[key] = profile
         return profile
+
+    def inlined(self, name: str):
+        """Counter of rows an inlined (former) call site evaluated.
+
+        Deliberately NOT a :class:`UDFProfile` and NOT adaptive-fed: an
+        inlined body is native SQL evaluation, so counting it as UDF
+        ``calls`` would double-book work the VM never did, and feeding
+        its (near-zero) timings into the adaptive store would corrupt
+        the observed per-call cost of the designs that still execute
+        the UDF for real.
+        """
+        counter = self.inlined_udfs.get(name)
+        if counter is None:
+            counter = self.registry.counter(f"udf.{name}.inlined_calls")
+            self.inlined_udfs[name] = counter
+        return counter
 
     # -- operator layer ---------------------------------------------------
 

@@ -87,6 +87,45 @@ class FuncCall(Expr):
     distinct: bool = False
 
 
+@dataclass(frozen=True)
+class Case(Expr):
+    """Searched CASE: ``CASE WHEN cond THEN value ... ELSE default END``.
+
+    Produced by the UDF decompiler (if/else bodies lower to CASE), not
+    the parser.  Evaluation is short-circuit: a branch's value is only
+    computed for rows whose condition held, so trapping expressions
+    guarded by a condition stay guarded.
+    """
+
+    whens: Tuple[Tuple[Expr, Expr], ...]
+    default: Optional[Expr] = None
+
+
+@dataclass(frozen=True)
+class ParamRef(Expr):
+    """Positional parameter placeholder inside an inline template.
+
+    Only appears in :class:`~repro.analysis.decompile.InlineTemplate`
+    bodies; the optimizer substitutes argument expressions before any
+    template reaches the expression compiler.
+    """
+
+    index: int
+
+
+@dataclass(frozen=True)
+class Inlined(Expr):
+    """A UDF call site replaced by its decompiled body.
+
+    Transparent to evaluation; keeps the originating UDF's name so
+    EXPLAIN can mark the site ``inlined`` and the query profile can
+    count inlined calls without a VM entry.
+    """
+
+    name: str
+    body: Expr
+
+
 # ---------------------------------------------------------------------------
 # Statements
 # ---------------------------------------------------------------------------

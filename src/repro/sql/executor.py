@@ -120,6 +120,18 @@ class _QueryUDFResolver(FunctionResolver):
             self.executors[key] = executor
         return executor, executor.definition.signature.param_types
 
+    def udf_ret_type(self, name: str) -> Optional[str]:
+        """Answer result-type questions from the catalog alone.
+
+        Planning must not spin up executors (with inlining on, a call
+        site may never execute at all); the registry already knows the
+        declared signature.
+        """
+        key = name.lower()
+        if self.registry is None or not self.registry.has(key):
+            return None
+        return self.registry.get(key).signature.ret_type
+
     def finish(self) -> None:
         for executor in self.executors.values():
             try:
@@ -138,9 +150,37 @@ class _RegistryOracle(CostOracle):
     observed number overrides the static hint.
     """
 
-    def __init__(self, registry, adaptive=None):
+    def __init__(self, registry, adaptive=None, inlining=False):
         self.registry = registry
         self.adaptive = adaptive
+        self.inlining = inlining
+
+    def inline_template(self, name: str):
+        """The UDF's :class:`~repro.analysis.decompile.InlineTemplate`,
+        when inlining is enabled and the decompiler lifted the body."""
+        if not self.inlining:
+            return None
+        definition = self.udf_definition(name)
+        if definition is None:
+            return None
+        inline = getattr(definition, "inline", None)
+        if inline is not None and hasattr(inline, "expr"):
+            return inline
+        return None
+
+    def inline_refusal(self, name: str):
+        """The refusal reason code for a non-inlinable UDF, when
+        inlining is enabled (so seed EXPLAIN output stays byte-identical
+        with inlining off)."""
+        if not self.inlining:
+            return None
+        definition = self.udf_definition(name)
+        if definition is None:
+            return None
+        inline = getattr(definition, "inline", None)
+        if inline is not None and hasattr(inline, "reason"):
+            return inline.reason
+        return None
 
     def observed_cost(self, name: str):
         if self.adaptive is None:
@@ -233,8 +273,12 @@ class StatementExecutor:
             plan = plan_select(select, self.db.catalog, resolver)
             plan = optimize(
                 plan,
-                _RegistryOracle(self.db.registry, obs.adaptive),
+                _RegistryOracle(
+                    self.db.registry, obs.adaptive,
+                    inlining=self.db.inlining,
+                ),
                 parallelism=self.db.parallelism,
+                inlining=self.db.inlining,
             )
             root = self._physical(plan, resolver, runtime, profile)
             rows = [tuple(row) for row in root.rows()]
@@ -264,11 +308,14 @@ class StatementExecutor:
         binding = self.db.broker.bind()
         resolver = _QueryUDFResolver(self.db.registry, binding, profile)
         runtime = QueryRuntime(lobs=self.db.lobs, binding=binding)
-        oracle = _RegistryOracle(self.db.registry, obs.adaptive)
+        oracle = _RegistryOracle(
+            self.db.registry, obs.adaptive, inlining=self.db.inlining
+        )
         try:
             plan = plan_select(statement.select, self.db.catalog, resolver)
             plan = optimize(
-                plan, oracle, parallelism=self.db.parallelism
+                plan, oracle, parallelism=self.db.parallelism,
+                inlining=self.db.inlining,
             )
             if statement.analyze:
                 root = self._physical(plan, resolver, runtime, profile)

@@ -74,6 +74,21 @@ def render_expr(expr: A.Expr) -> str:
         args = ", ".join(render_expr(arg) for arg in expr.args)
         distinct = "DISTINCT " if expr.distinct else ""
         return f"{expr.name}({distinct}{args})"
+    if isinstance(expr, A.Case):
+        parts = ["CASE"]
+        for cond, value in expr.whens:
+            parts.append(f"WHEN {render_expr(cond)} THEN {render_expr(value)}")
+        if expr.default is not None:
+            parts.append(f"ELSE {render_expr(expr.default)}")
+        parts.append("END")
+        return "(" + " ".join(parts) + ")"
+    if isinstance(expr, A.ParamRef):
+        # Only visible when pretty-printing an InlineTemplate body
+        # (``repro.analysis inline``); planned expressions have every
+        # parameter substituted.
+        return f"${expr.index + 1}"
+    if isinstance(expr, A.Inlined):
+        return render_expr(expr.body)
     return repr(expr)
 
 
@@ -130,6 +145,12 @@ def udf_profile_lines(profile: Optional[object]) -> List[str]:
                 f"refusals={udf.refusals.value}"
             )
         lines.append(line)
+    for name, counter in sorted(
+        getattr(profile, "inlined_udfs", {}).items()
+    ):
+        # Former call sites the optimizer replaced with lifted SQL: the
+        # rows are counted, but there were no VM entries to time.
+        lines.append(f"udf {name} [inlined]: rows={counter.value}")
     return lines
 
 
@@ -146,6 +167,77 @@ def _actual(plan: LogicalPlan, analysis: Optional[object]) -> str:
     )
 
 
+def _inlined_names(expr: A.Expr) -> List[str]:
+    """Names of UDFs the optimizer inlined within ``expr``, in order."""
+    names: List[str] = []
+
+    def walk(node: A.Expr) -> None:
+        if isinstance(node, A.Inlined):
+            names.append(node.name)
+            walk(node.body)
+            return
+        if isinstance(node, A.BinaryOp):
+            walk(node.left)
+            walk(node.right)
+        elif isinstance(node, A.UnaryOp):
+            walk(node.operand)
+        elif isinstance(node, A.IsNull):
+            walk(node.operand)
+        elif isinstance(node, A.Between):
+            walk(node.operand)
+            walk(node.low)
+            walk(node.high)
+        elif isinstance(node, A.InList):
+            walk(node.operand)
+            for item in node.items:
+                walk(item)
+        elif isinstance(node, A.FuncCall):
+            for arg in node.args:
+                walk(arg)
+        elif isinstance(node, A.Case):
+            for cond, value in node.whens:
+                walk(cond)
+                walk(value)
+            if node.default is not None:
+                walk(node.default)
+
+    walk(expr)
+    return names
+
+
+def _inline_notes(exprs: List[A.Expr], oracle: Optional[object]) -> str:
+    """Inlining-only annotations for non-predicate expression lists.
+
+    Projection and sort-key lines never carried the cost/selectivity
+    notes (those drive predicate ordering, which does not apply), but
+    with inlining on their call sites still need marking.  Every source
+    here answers None/empty with inlining off, keeping seed EXPLAIN
+    output byte-identical.
+    """
+    if oracle is None:
+        return ""
+    from .optimizer import _function_calls
+
+    notes: List[str] = []
+    for expr in exprs:
+        for name in _inlined_names(expr):
+            notes.append(f"udf {name}: inlined")
+        for call in _function_calls(expr):
+            name = call.name.lower()
+            if getattr(oracle, "udf_definition", lambda n: None)(name) is None:
+                continue
+            refusal = getattr(oracle, "inline_refusal", lambda n: None)(name)
+            if refusal is not None:
+                notes.append(f"udf {name}: opaque({refusal})")
+            elif getattr(
+                oracle, "inline_template", lambda n: None
+            )(name) is not None:
+                notes.append(f"udf {name}: opaque(call-site)")
+    if not notes:
+        return ""
+    return "  -- " + "; ".join(notes)
+
+
 def _annotate(expr: A.Expr, oracle: Optional[object]) -> str:
     """`` -- udf f: pure, cost≈N (derived), sel=S`` for UDF predicates.
 
@@ -157,6 +249,10 @@ def _annotate(expr: A.Expr, oracle: Optional[object]) -> str:
     from .optimizer import _function_calls
 
     notes = []
+    for name in _inlined_names(expr):
+        # The call site is gone: the body runs as native SQL, no VM
+        # entry, no metering, no marshalling.
+        notes.append(f"udf {name}: inlined")
     for call in _function_calls(expr):
         name = call.name.lower()
         definition = getattr(oracle, "udf_definition", lambda n: None)(name)
@@ -175,6 +271,15 @@ def _annotate(expr: A.Expr, oracle: Optional[object]) -> str:
             f"{cost_note}, "
             f"sel={hints.selectivity:.2f}"
         )
+        # With inlining on, every surviving call site says why it is
+        # still a call: the decompiler's refusal reason, or
+        # ``call-site`` when the body lifted but this particular use
+        # disqualified (literal args, type mismatch, nested UDF args).
+        refusal = getattr(oracle, "inline_refusal", lambda n: None)(name)
+        if refusal is not None:
+            note += f", opaque({refusal})"
+        elif getattr(oracle, "inline_template", lambda n: None)(name) is not None:
+            note += ", opaque(call-site)"
         cert = getattr(definition, "certificate", None)
         if cert is not None and (
             cert.fuel_bound is not None or cert.mem_bound is not None
@@ -250,7 +355,10 @@ def _render(
             f"{render_expr(expr)} AS {name}"
             for expr, name in zip(plan.exprs, plan.names)
         )
-        lines.append(pad + f"Project [{rendered}]" + tag)
+        lines.append(
+            pad + f"Project [{rendered}]" + tag
+            + _inline_notes(plan.exprs, oracle)
+        )
     elif isinstance(plan, LogicalAggregate):
         groups = ", ".join(render_expr(e) for e in plan.group_exprs)
         aggs = ", ".join(
@@ -265,7 +373,7 @@ def _render(
             f"{render_expr(key)} {'DESC' if desc else 'ASC'}"
             for key, desc in zip(plan.keys, plan.descending)
         )
-        lines.append(pad + f"Sort [{keys}]" + tag)
+        lines.append(pad + f"Sort [{keys}]" + tag + _inline_notes(plan.keys, oracle))
     elif isinstance(plan, LogicalLimit):
         lines.append(pad + f"Limit {plan.limit}" + tag)
     else:

@@ -21,6 +21,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import ExecutionError, PlanError
 from ..storage.lob import LOBRef
+from ..vm.values import INT_MAX, INT_MIN, wrap_int
 from . import ast_nodes as A
 from .types import RowSchema, SQLType
 
@@ -242,6 +243,20 @@ class FunctionResolver:
         """Return (executor, param_type_names) or None."""
         return None
 
+    def udf_ret_type(self, name: str) -> Optional[str]:
+        """SQL-facing return type name of a registered UDF, or None.
+
+        Used by type inference at planning time.  The default derives it
+        from :meth:`resolve_udf`; resolvers backed by a registry override
+        this to answer without instantiating an executor (an inlined
+        call site must not spawn a per-query process just to be typed).
+        """
+        udf = self.resolve_udf(name)
+        if udf is None:
+            return None
+        executor, __ = udf
+        return executor.definition.signature.ret_type
+
 
 def compile_expr(
     expr: A.Expr,
@@ -330,9 +345,95 @@ def _compile(expr, schema, resolver, runtime) -> EvalFn:
         return _attach_batch(in_list, [operand] + items, in_values)
     if isinstance(expr, A.FuncCall):
         return _compile_call(expr, schema, resolver, runtime)
+    if isinstance(expr, A.Case):
+        return _compile_case(expr, schema, resolver, runtime)
+    if isinstance(expr, A.Inlined):
+        return _compile_inlined(expr, schema, resolver, runtime)
+    if isinstance(expr, A.ParamRef):
+        raise PlanError(
+            f"unsubstituted inline-template parameter ${expr.index + 1}"
+        )
     if isinstance(expr, A.Star):
         raise PlanError("'*' is only valid in SELECT lists and COUNT(*)")
     raise PlanError(f"cannot compile expression {expr!r}")
+
+
+def _compile_case(expr: A.Case, schema, resolver, runtime) -> EvalFn:
+    when_fns = [
+        (_compile(cond, schema, resolver, runtime),
+         _compile(value, schema, resolver, runtime))
+        for cond, value in expr.whens
+    ]
+    default_fn = (
+        _compile(expr.default, schema, resolver, runtime)
+        if expr.default is not None else None
+    )
+
+    if len(when_fns) == 1 and default_fn is not None:
+        # The common shape — notably the NULL guard wrapped around
+        # every inlined UDF body — deserves a branch, not a loop.
+        ((cond_fn, value_fn),) = when_fns
+
+        def case(row):
+            return value_fn(row) if cond_fn(row) is True else default_fn(row)
+    else:
+        def case(row):
+            for cond_fn, value_fn in when_fns:
+                if cond_fn(row) is True:
+                    return value_fn(row)
+            return default_fn(row) if default_fn is not None else None
+
+    children = [fn for pair in when_fns for fn in pair]
+    if default_fn is not None:
+        children.append(default_fn)
+    if any(getattr(child, "eval_batch", None) is not None
+           for child in children):
+        # Short-circuit batch form: each branch value is evaluated only
+        # on the rows whose condition selected it (mirroring the scalar
+        # path), so trapping expressions stay behind their guards.
+        def case_batch(rows):
+            results: List[object] = [None] * len(rows)
+            pending = list(range(len(rows)))
+            for cond_fn, value_fn in when_fns:
+                if not pending:
+                    break
+                conds = eval_batch(cond_fn, [rows[i] for i in pending])
+                taken = [i for i, c in zip(pending, conds) if c is True]
+                pending = [i for i, c in zip(pending, conds)
+                           if c is not True]
+                if taken:
+                    values = eval_batch(value_fn, [rows[i] for i in taken])
+                    for i, value in zip(taken, values):
+                        results[i] = value
+            if pending and default_fn is not None:
+                values = eval_batch(default_fn, [rows[i] for i in pending])
+                for i, value in zip(pending, values):
+                    results[i] = value
+            return results
+
+        case.eval_batch = case_batch
+    return case
+
+
+def _compile_inlined(expr: A.Inlined, schema, resolver, runtime) -> EvalFn:
+    body = _compile(expr.body, schema, resolver, runtime)
+    profile = getattr(resolver, "profile", None)
+    counter = (
+        profile.inlined(expr.name) if profile is not None else None
+    )
+    if counter is None:
+        return body  # fully transparent: the body *is* the call
+
+    def inlined(row):
+        counter.inc(1)
+        return body(row)
+
+    def inlined_batch(rows):
+        counter.inc(len(rows))
+        return eval_batch(body, rows)
+
+    inlined.eval_batch = inlined_batch
+    return inlined
 
 
 def _compile_binary(expr, schema, resolver, runtime) -> EvalFn:
@@ -504,6 +605,38 @@ def _length(value) -> int:
     return len(value)
 
 
+def _vm_idiv(a: int, b: int) -> int:
+    """JaguarVM IDIV: truncation toward zero, 64-bit wraparound.
+
+    The decompiler emits ``idiv``/``imod`` (not SQL ``/``/``%``) for the
+    VM's integer division opcodes: SQL division floors while the VM
+    truncates toward zero, and the results differ on negative operands.
+    """
+    if b == 0:
+        raise ExecutionError("integer division by zero")
+    quotient = abs(a) // abs(b)
+    if (a >= 0) != (b >= 0):
+        quotient = -quotient
+    return wrap_int(quotient)
+
+
+def _vm_imod(a: int, b: int) -> int:
+    """JaguarVM IMOD: ``a - idiv(a, b) * b`` (sign follows the dividend)."""
+    if b == 0:
+        raise ExecutionError("integer modulo by zero")
+    return wrap_int(a - _vm_idiv(a, b) * b)
+
+
+def _vm_trunc(x: float) -> int:
+    """JaguarVM F2I: truncate toward zero; error on NaN/inf/overflow."""
+    if x != x or x in (float("inf"), float("-inf")):
+        raise ExecutionError(f"cannot convert {x!r} to int")
+    value = int(x)
+    if value < INT_MIN or value > INT_MAX:
+        raise ExecutionError(f"float {x!r} out of int64 range")
+    return value
+
+
 _BUILTINS = {
     "abs": (1, abs),
     "length": (1, _length),
@@ -515,6 +648,12 @@ _BUILTINS = {
     "round": (1, lambda x: round(x)),
     "zerobytes": (1, lambda n: bytes(int(n))),
     "patbytes": (2, _patbytes),
+    # VM-semantics helpers emitted by the UDF decompiler; also usable
+    # directly from SQL.
+    "idiv": (2, _vm_idiv),
+    "imod": (2, _vm_imod),
+    "float": (1, float),
+    "trunc": (1, _vm_trunc),
 }
 
 
@@ -599,6 +738,16 @@ def infer_type(
         return SQLType.BOOL
     if isinstance(expr, A.FuncCall):
         return _infer_call_type(expr, resolver)
+    if isinstance(expr, A.Case):
+        for __, value in expr.whens:
+            inferred = infer_type(value, schema, resolver)
+            if inferred is not SQLType.NULL:
+                return inferred
+        if expr.default is not None:
+            return infer_type(expr.default, schema, resolver)
+        return SQLType.NULL
+    if isinstance(expr, A.Inlined):
+        return infer_type(expr.body, schema, resolver)
     return SQLType.NULL
 
 
@@ -623,6 +772,10 @@ _BUILTIN_RESULT_TYPES = {
     "round": SQLType.INT,
     "zerobytes": SQLType.BYTES,
     "patbytes": SQLType.BYTES,
+    "idiv": SQLType.INT,
+    "imod": SQLType.INT,
+    "float": SQLType.FLOAT,
+    "trunc": SQLType.INT,
 }
 
 
@@ -633,9 +786,7 @@ def _infer_call_type(expr: A.FuncCall, resolver) -> SQLType:
     if name in ("sum", "avg", "min", "max"):
         return SQLType.FLOAT
     if resolver is not None:
-        udf = resolver.resolve_udf(name)
-        if udf is not None:
-            executor, __ = udf
-            ret = executor.definition.signature.ret_type
+        ret = resolver.udf_ret_type(name)
+        if ret is not None:
             return _UDF_RESULT_TYPES.get(ret, SQLType.NULL)
     return _BUILTIN_RESULT_TYPES.get(name, SQLType.NULL)

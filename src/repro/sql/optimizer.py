@@ -33,6 +33,8 @@ import dataclasses
 from typing import List, Optional, Set, Tuple
 
 from . import ast_nodes as A
+from .expressions import infer_type
+from .types import SQLType
 from .planner import (
     LogicalAggregate,
     LogicalDistinct,
@@ -81,6 +83,23 @@ class CostOracle:
         raise NotImplementedError(
             "this oracle cannot evaluate UDFs at plan time"
         )
+
+    # -- inlining ---------------------------------------------------------
+
+    def inline_template(self, name: str):
+        """The UDF's :class:`~repro.analysis.decompile.InlineTemplate`,
+        or None when it cannot (or must not) be inlined.  The executor's
+        oracle answers from the registry when ``Database(inlining=True)``;
+        the base oracle never inlines."""
+        return None
+
+    def inline_refusal(self, name: str) -> Optional[str]:
+        """The refusal reason code for a non-inlinable UDF, or None.
+
+        Only answered when inlining is enabled, so EXPLAIN output with
+        inlining off is byte-identical to the seed.
+        """
+        return None
 
     # -- adaptive feedback ------------------------------------------------
 
@@ -146,13 +165,20 @@ def optimize(
     plan: LogicalPlan,
     oracle: Optional[CostOracle] = None,
     parallelism: int = 1,
+    inlining: bool = False,
 ) -> LogicalPlan:
     """Apply all rewrites; returns the (mutated) plan.
 
     ``parallelism > 1`` enables the Exchange placement pass (rewrite 5);
     at 1 the plan is untouched by it, reproducing serial plans exactly.
+    ``inlining`` enables the Froid rewrite (rewrite 0): UDF call sites
+    with an :class:`~repro.analysis.decompile.InlineTemplate` are
+    replaced by the lifted expression *before* the other rewrites, so
+    pushdown, folding, and rank ordering all see through the call.
     """
     oracle = oracle or CostOracle()
+    if inlining:
+        _inline_udfs(plan, oracle)
     plan = _pushdown(plan)
     _fold_constants(plan, oracle)
     _order_predicates(plan, oracle)
@@ -160,6 +186,206 @@ def optimize(
     if parallelism > 1:
         plan = _place_exchanges(plan, oracle, parallelism)
     return plan
+
+
+# ---------------------------------------------------------------------------
+# Rewrite 0: Froid-style UDF inlining
+# ---------------------------------------------------------------------------
+
+#: SQL types acceptable per VM parameter kind.  An argument whose
+#: inferred type falls outside the set keeps its opaque call site: the
+#: call path would reject the marshalling at run time, and inlining must
+#: not silently compute where the call would have errored.  NULL
+#: (statically unknown) is always acceptable.
+_PARAM_ACCEPTS = {
+    "int": frozenset({SQLType.INT}),
+    "float": frozenset({SQLType.INT, SQLType.FLOAT}),
+    "bool": frozenset({SQLType.BOOL}),
+    "str": frozenset({SQLType.STRING}),
+    "arr": frozenset({SQLType.BYTES}),
+    "farr": frozenset({SQLType.FLOATARR}),
+}
+
+
+def _inline_udfs(plan: LogicalPlan, oracle: CostOracle) -> None:
+    """Replace inlinable UDF call sites with their lifted expressions.
+
+    Runs before every other rewrite, on the freshly planned tree, so
+    the downstream passes (pushdown, folding, Hellerstein ordering,
+    Exchange placement) treat the lifted expression like native SQL —
+    which is the whole point.
+    """
+    if isinstance(plan, LogicalScan):
+        plan.predicates = [
+            _inline_expr(p, oracle, plan.schema) for p in plan.predicates
+        ]
+    elif isinstance(plan, LogicalJoin):
+        plan.predicates = [
+            _inline_expr(p, oracle, plan.schema) for p in plan.predicates
+        ]
+    elif isinstance(plan, LogicalFilter):
+        plan.predicates = [
+            _inline_expr(p, oracle, plan.child.schema)
+            for p in plan.predicates
+        ]
+    if isinstance(plan, LogicalProject):
+        plan.exprs = [
+            _inline_expr(e, oracle, plan.child.schema) for e in plan.exprs
+        ]
+    if isinstance(plan, LogicalSort):
+        plan.keys = [
+            _inline_expr(k, oracle, plan.child.schema) for k in plan.keys
+        ]
+    for attr in ("child", "left", "right"):
+        child = getattr(plan, attr, None)
+        if child is not None:
+            _inline_udfs(child, oracle)
+
+
+def _inline_expr(expr: A.Expr, oracle: CostOracle, schema) -> A.Expr:
+    """Bottom-up call-site replacement (nested inlinable calls work:
+    the inner call becomes an :class:`~repro.sql.ast_nodes.Inlined`
+    subtree, transparent to the outer call's argument checks)."""
+    if isinstance(expr, A.FuncCall):
+        args = tuple(_inline_expr(a, oracle, schema) for a in expr.args)
+        if args != expr.args:
+            expr = dataclasses.replace(expr, args=args)
+        return _try_inline_call(expr, oracle, schema)
+    if isinstance(expr, A.BinaryOp):
+        return dataclasses.replace(
+            expr,
+            left=_inline_expr(expr.left, oracle, schema),
+            right=_inline_expr(expr.right, oracle, schema),
+        )
+    if isinstance(expr, A.UnaryOp):
+        return dataclasses.replace(
+            expr, operand=_inline_expr(expr.operand, oracle, schema)
+        )
+    if isinstance(expr, A.IsNull):
+        return dataclasses.replace(
+            expr, operand=_inline_expr(expr.operand, oracle, schema)
+        )
+    if isinstance(expr, A.Between):
+        return dataclasses.replace(
+            expr,
+            operand=_inline_expr(expr.operand, oracle, schema),
+            low=_inline_expr(expr.low, oracle, schema),
+            high=_inline_expr(expr.high, oracle, schema),
+        )
+    if isinstance(expr, A.InList):
+        return dataclasses.replace(
+            expr,
+            operand=_inline_expr(expr.operand, oracle, schema),
+            items=tuple(
+                _inline_expr(item, oracle, schema) for item in expr.items
+            ),
+        )
+    return expr
+
+
+def _try_inline_call(
+    call: A.FuncCall, oracle: CostOracle, schema
+) -> A.Expr:
+    if call.star or call.distinct:
+        return call
+    name = call.name.lower()
+    template = oracle.inline_template(name)
+    if template is None:
+        return call
+    if len(call.args) != len(template.param_kinds):
+        return call
+    if all(isinstance(arg, A.Literal) for arg in call.args):
+        # All-literal call sites are better served by rewrite 2: one
+        # plan-time VM invocation folds to a literal, which beats
+        # evaluating even an inlined guard per row.
+        return call
+    substituted: List[A.Expr] = []
+    guards: List[A.Expr] = []
+    for arg, kind in zip(call.args, template.param_kinds):
+        if _contains_udf_call(arg, oracle):
+            # Substitution duplicates the argument expression once per
+            # ParamRef occurrence plus the NULL guard; a UDF inside it
+            # would multiply sandbox crossings.  Keep the site opaque.
+            return call
+        if isinstance(arg, A.Literal) and arg.value is None:
+            # Strict NULL semantics: the whole call is NULL, always.
+            return A.Inlined(name, A.Literal(None))
+        inferred = infer_type(arg, schema, None)
+        accepts = _PARAM_ACCEPTS.get(kind)
+        if (accepts is not None and inferred is not SQLType.NULL
+                and inferred not in accepts):
+            return call  # ill-typed call: let the call path report it
+        if kind == "float" and inferred is not SQLType.FLOAT:
+            # The call path widens int arguments at marshalling; the
+            # lifted float arithmetic needs the same widening.
+            if isinstance(arg, A.Literal) and isinstance(arg.value, int):
+                arg = A.Literal(float(arg.value))
+            else:
+                arg = A.FuncCall("float", (arg,))
+        substituted.append(arg)
+        if not isinstance(arg, A.Literal):
+            guards.append(A.IsNull(arg))
+    body = _substitute_params(template.expr, substituted)
+    if guards:
+        # Strict NULL semantics at the (former) call boundary: any NULL
+        # argument yields NULL without evaluating the body, exactly as
+        # the call path shorts out before invoking the VM.
+        condition = guards[0]
+        for guard in guards[1:]:
+            condition = A.BinaryOp("or", condition, guard)
+        body = A.Case(whens=((condition, A.Literal(None)),), default=body)
+    return A.Inlined(name, body)
+
+
+def _contains_udf_call(expr: A.Expr, oracle: CostOracle) -> bool:
+    return any(
+        oracle.udf_definition(call.name.lower()) is not None
+        for call in _function_calls(expr)
+    )
+
+
+def _substitute_params(expr: A.Expr, args: List[A.Expr]) -> A.Expr:
+    """Replace every :class:`ParamRef` leaf with its argument expression."""
+    if isinstance(expr, A.ParamRef):
+        return args[expr.index]
+    if isinstance(expr, A.Literal):
+        return expr
+    if isinstance(expr, A.BinaryOp):
+        return dataclasses.replace(
+            expr,
+            left=_substitute_params(expr.left, args),
+            right=_substitute_params(expr.right, args),
+        )
+    if isinstance(expr, A.UnaryOp):
+        return dataclasses.replace(
+            expr, operand=_substitute_params(expr.operand, args)
+        )
+    if isinstance(expr, A.FuncCall):
+        return dataclasses.replace(
+            expr,
+            args=tuple(_substitute_params(a, args) for a in expr.args),
+        )
+    if isinstance(expr, A.Case):
+        return dataclasses.replace(
+            expr,
+            whens=tuple(
+                (_substitute_params(c, args), _substitute_params(v, args))
+                for c, v in expr.whens
+            ),
+            default=(
+                _substitute_params(expr.default, args)
+                if expr.default is not None else None
+            ),
+        )
+    if isinstance(expr, A.IsNull):
+        return dataclasses.replace(
+            expr, operand=_substitute_params(expr.operand, args)
+        )
+    if isinstance(expr, A.Inlined):
+        return dataclasses.replace(
+            expr, body=_substitute_params(expr.body, args)
+        )
+    return expr
 
 
 # ---------------------------------------------------------------------------
@@ -259,6 +485,14 @@ def _referenced_tables(expr: A.Expr) -> Set[str]:
         elif isinstance(node, A.FuncCall):
             for arg in node.args:
                 walk(arg)
+        elif isinstance(node, A.Case):
+            for cond, value in node.whens:
+                walk(cond)
+                walk(value)
+            if node.default is not None:
+                walk(node.default)
+        elif isinstance(node, A.Inlined):
+            walk(node.body)
 
     walk(expr)
     if unqualified[0]:
@@ -337,6 +571,20 @@ def _fold_expr(expr: A.Expr, oracle: CostOracle) -> A.Expr:
             operand=_fold_expr(expr.operand, oracle),
             items=tuple(_fold_expr(item, oracle) for item in expr.items),
         )
+    if isinstance(expr, A.Case):
+        return dataclasses.replace(
+            expr,
+            whens=tuple(
+                (_fold_expr(cond, oracle), _fold_expr(value, oracle))
+                for cond, value in expr.whens
+            ),
+            default=(
+                _fold_expr(expr.default, oracle)
+                if expr.default is not None else None
+            ),
+        )
+    if isinstance(expr, A.Inlined):
+        return dataclasses.replace(expr, body=_fold_expr(expr.body, oracle))
     return expr
 
 
@@ -612,6 +860,18 @@ def _function_calls(expr: A.Expr) -> List[A.FuncCall]:
             walk(node.operand)
             for item in node.items:
                 walk(item)
+        elif isinstance(node, A.Case):
+            for cond, value in node.whens:
+                walk(cond)
+                walk(value)
+            if node.default is not None:
+                walk(node.default)
+        elif isinstance(node, A.Inlined):
+            # The Inlined name is deliberately NOT reported as a call:
+            # the body is pure lifted SQL (built-ins only), so rank
+            # ordering and Exchange placement cost it like native
+            # expressions — the inlining dividend.
+            walk(node.body)
 
     walk(expr)
     return calls

@@ -99,6 +99,9 @@ class FunctionDef:
     #: ResourceCertificate from the load-time bounds certifier; like
     #: ``summary``, never serialized — recomputed on every load.
     certificate: Optional[object] = None
+    #: InlineTemplate or InlineRefusal from the load-time decompiler
+    #: (:mod:`repro.analysis.decompile`); never serialized.
+    inline: Optional[object] = field(default=None, compare=False)
     #: Interpreter dispatch cache: ``code`` decoded to ``(op, arg)``
     #: tuples, built lazily on first execution.  Pure derivation of
     #: ``code`` (which is immutable), so it never needs invalidation.

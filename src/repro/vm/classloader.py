@@ -112,9 +112,11 @@ class ClassLoader:
         like the verifier's signature resolution did.  The certifier runs
         second: its transitive fuel/memory bounds substitute callee
         certificates at call sites, which the effect pass has just made
-        resolvable.
+        resolvable.  The decompiler runs last: it gates on the effect
+        summaries the first pass just attached.
         """
         from ..analysis.bounds import certify_class
+        from ..analysis.decompile import decompile_class
         from ..analysis.effects import analyze_class
 
         def foreign_summary(class_name: str, func_name: str):
@@ -134,6 +136,7 @@ class ClassLoader:
         analyze_class(cls, foreign_summary=foreign_summary)
         certify_class(cls, resolver=self._resolver(),
                       foreign_certificate=foreign_certificate)
+        decompile_class(cls)
 
     def _resolver(self) -> Resolver:
         def function_signature(class_name: str, func_name: str) -> Signature:

@@ -1,0 +1,18 @@
+"""Host-native equivalents of the inlinable sample UDFs.
+
+The parity matrix registers the same function under every design:
+sandboxed designs compile the JagScript bodies in
+``test_inline_parity``; native designs resolve these callables.
+"""
+
+
+def plus1(x):
+    return x + 1
+
+
+def clip(x):
+    return 0 if x < 0 else x
+
+
+def scale(x):
+    return x * 2.0 - 1.0

@@ -147,8 +147,39 @@ def main() -> None:
         db.execute("SELECT count(*) FROM victims").scalar(), "rows",
     )
 
+    attack("data exfiltration (tuple values into a logging sink)")
+    # The registration legitimately grants cb_log — logging callbacks
+    # get handed out freely.  But cb_log is a policy-declared *sink*:
+    # whatever reaches its argument leaves the confinement boundary
+    # (log files are world-readable in a way tuples are not).  The
+    # information-flow pass proves the tuple-derived parameter reaches
+    # the sink argument — through the arithmetic disguise — so the
+    # registration is refused with a static:flows audit entry, even
+    # though every instruction is individually permitted.
+    try:
+        db.execute(
+            "CREATE FUNCTION leak(int) RETURNS int LANGUAGE JAGUAR "
+            "DESIGN SANDBOX CALLBACKS 'cb_log' AS "
+            "'def leak(x: int) -> int:\n"
+            "    disguised: int = x * 31 + 7\n"
+            "    logged: int = cb_log(disguised)\n"
+            "    return logged\n'"
+        )
+    except SecurityViolation as exc:
+        print(f"  stopped at CREATE FUNCTION: {exc}")
+    # The same callback with untainted arguments is fine: the flow
+    # certifier refuses data-dependent sink traffic, not logging itself.
+    db.execute(
+        "CREATE FUNCTION heartbeat(int) RETURNS int LANGUAGE JAGUAR "
+        "DESIGN SANDBOX CALLBACKS 'cb_log' AS "
+        "'def heartbeat(x: int) -> int:\n"
+        "    ok: int = cb_log(1)\n"
+        "    return ok\n'"
+    )
+    print("  (constant-argument cb_log UDF accepted: the sink gate is flow-based)")
+
     db.close()
-    print("\nAll six attacks neutralized.")
+    print("\nAll seven attacks neutralized.")
 
 
 def hard_crash(x):

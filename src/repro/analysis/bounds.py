@@ -64,6 +64,7 @@ from ..vm.classfile import (
 from ..vm.opcodes import Instr, Op
 from ..vm.values import VMType
 from ..vm.verifier import Resolver, self_resolver
+from . import dataflow
 from .cfg import Loop, build_cfg
 from .effects import _sccs
 from .intervals import (
@@ -520,33 +521,23 @@ class _FunctionCertifier:
         return (tuple(locals_), ())
 
     def _fixpoint(self) -> None:
-        headers = {loop.header for loop in self.cfg.loops}
-        visits = [0] * len(self.cfg.blocks)
-        self.in_states[0] = self.entry_state
-        worklist = [0]
-        while worklist:
-            index = worklist.pop()
-            state = self.in_states[index]
-            if state is None:
-                continue
-            visits[index] += 1
-            if visits[index] > _MAX_VISITS:
-                state = self._top_state(state)
-                self.in_states[index] = state
-            out = self._run_block(index, state)
-            self.out_states[index] = out
-            for succ in self.cfg.blocks[index].successors:
-                old = self.in_states[succ]
-                if old is None:
-                    self.in_states[succ] = out
-                    worklist.append(succ)
-                    continue
-                joined = self._join_state(old, out)
-                if succ in headers:
-                    joined = self._widen_state(old, joined)
-                if joined != old:
-                    self.in_states[succ] = joined
-                    worklist.append(succ)
+        # The interval lattice as a DataflowProblem: the shared worklist
+        # engine reproduces the historical iteration order exactly, so
+        # the resulting certificates stay bit-identical (pinned by the
+        # migration-parity test in tests/analysis/test_dataflow.py).
+        result = dataflow.solve(
+            self.cfg,
+            dataflow.DataflowProblem(
+                entry=self.entry_state,
+                transfer=self._run_block,
+                join=self._join_state,
+                widen=self._widen_state,
+                top=self._top_state,
+            ),
+            max_visits=_MAX_VISITS,
+        )
+        self.in_states = result.in_states
+        self.out_states = result.out_states
 
     @staticmethod
     def _top_state(state: _State) -> _State:

@@ -220,67 +220,211 @@ def _expand_targets(targets: List[Path]) -> List[Path]:
     return paths
 
 
-def bounds_main(argv: Optional[List[str]] = None) -> int:
-    """``python -m repro.analysis bounds`` — resource-bound certificates.
+# ---------------------------------------------------------------------------
+# CLI plumbing shared by every subcommand
+# ---------------------------------------------------------------------------
+#
+# Exit-code convention (uniform across ``lint``/``bounds``/``inline``/
+# ``flows``/``report``):
+#
+# * ``0`` — every target loaded, verified, and was analyzed; findings
+#   may have been reported, but none gate without ``--strict``;
+# * ``1`` — ``--strict`` and at least one error-level finding (an
+#   unbounded loop for ``lint``, a tainted sink flow for ``flows``);
+# * ``2`` — a target failed to load or verify, ``--strict`` or not: an
+#   unanalyzable input is never a clean run.
 
-    Prints each function's :class:`ResourceCertificate` (worst-case fuel
-    and heap as symbolic functions of the inputs, call depth, proven
-    minimums) plus its per-loop trip bounds.  Unbounded functions are
-    reported, not failed — ``--strict`` exits nonzero only when a target
-    cannot be loaded or verified, so an intentionally input-dependent
-    UDF does not break CI.
+
+def _exit_code(failures: int, errors: int, strict: bool) -> int:
+    if failures:
+        return 2
+    if strict and errors:
+        return 1
+    return 0
+
+
+def _gather(targets: List[Path], sink: List[dict]):
+    """Load+verify every class under ``targets``, yielding the good ones.
+
+    Load and verify failures are appended to ``sink`` as structured
+    records (and count toward exit code 2); callers print them in their
+    own format.
     """
-    import argparse
-
-    from .bounds import certify_class
-
-    parser = argparse.ArgumentParser(
-        prog="python -m repro.analysis bounds",
-        description="Static resource-bound certification over UDF classes.",
-    )
-    parser.add_argument(
-        "targets", nargs="+", type=Path,
-        help="classfile (.jagc), JagScript source, Python file with "
-             "embedded UDF payloads, or a directory of such files",
-    )
-    parser.add_argument(
-        "--strict", action="store_true",
-        help="exit nonzero when any target fails to load or verify",
-    )
-    opts = parser.parse_args(argv)
-
-    failures = 0
-    for target in _expand_targets(opts.targets):
+    for target in _expand_targets(targets):
         try:
             classes = load_targets(target)
         except (OSError, ClassFormatError, CompileError,
                 UnicodeDecodeError) as exc:
-            print(f"{target}: cannot load: {exc}")
-            failures += 1
+            sink.append({"target": str(target), "error": str(exc)})
             continue
         if not classes:
-            print(f"{target}: no UDF payloads found")
+            sink.append({"target": str(target), "empty": True})
             continue
         for label, cls in classes:
-            print(f"-- {label}")
             try:
                 verify_class(
                     cls,
                     self_resolver(cls, callbacks=_standard_callbacks()),
                 )
             except (VerifyError, LinkError) as exc:
-                print(f"  error: [verify] {exc}")
-                failures += 1
+                sink.append({
+                    "target": str(target), "label": label,
+                    "error": f"[verify] {exc}",
+                })
                 continue
-            certificates = certify_class(cls)
-            for name in sorted(certificates.functions):
-                cert = certificates.functions[name]
-                print("  " + cert.describe())
-                for loop in cert.loops:
-                    print("    " + loop.describe())
-    if opts.strict and failures:
-        return 1
-    return 0
+            yield label, cls
+
+
+def _print_failures(sink: List[dict]) -> None:
+    for record in sink:
+        if record.get("empty"):
+            print(f"{record['target']}: no UDF payloads found")
+        elif "label" in record:
+            print(f"-- {record['label']}")
+            print(f"  error: {record['error']}")
+        else:
+            print(f"{record['target']}: cannot load: {record['error']}")
+
+
+def _failure_count(sink: List[dict]) -> int:
+    """Empty targets are reported but are not failures."""
+    return sum(1 for record in sink if not record.get("empty"))
+
+
+def _cli_parser(prog: str, description: str, strict_help: str):
+    import argparse
+
+    parser = argparse.ArgumentParser(prog=prog, description=description)
+    parser.add_argument(
+        "targets", nargs="+", type=Path,
+        help="classfile (.jagc), JagScript source, Python file with "
+             "embedded UDF payloads, or a directory of such files",
+    )
+    parser.add_argument("--strict", action="store_true", help=strict_help)
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit one machine-readable JSON document instead of text",
+    )
+    return parser
+
+
+# -- per-certificate JSON renderings ----------------------------------------
+
+def _summary_dict(summary) -> dict:
+    return {
+        "function": summary.name,
+        "pure": summary.pure,
+        "natives": sorted(summary.natives),
+        "callbacks": sorted(summary.callbacks),
+        "allocates": summary.allocates,
+        "may_not_terminate": summary.may_not_terminate,
+        "has_unbounded_loop": summary.has_unbounded_loop,
+        "recursive": summary.recursive,
+        "unknown_effects": summary.unknown_effects,
+        "loop_count": summary.loop_count,
+        "max_loop_depth": summary.max_loop_depth,
+        "cost_units": summary.cost_units,
+    }
+
+
+def _certificate_dict(cert) -> dict:
+    from .intervals import describe_bound
+
+    return {
+        "function": cert.function,
+        "fuel_bound": describe_bound(cert.fuel_bound),
+        "local_fuel_bound": describe_bound(cert.local_fuel_bound),
+        "mem_bound": describe_bound(cert.mem_bound),
+        "depth_bound": cert.depth_bound,
+        "min_fuel": cert.min_fuel,
+        "min_memory": cert.min_memory,
+        "loops": [
+            {
+                "header_pc": loop.header_pc,
+                "trip_min": loop.trip_min,
+                "trip_bound": describe_bound(loop.trip_bound),
+            }
+            for loop in cert.loops
+        ],
+    }
+
+
+def _inline_dict(result) -> dict:
+    from ..sql.explain import render_expr
+    from .decompile import InlineTemplate
+
+    if isinstance(result, InlineTemplate):
+        return {
+            "inlinable": True,
+            "nodes": result.nodes,
+            "sql": render_expr(result.expr),
+            "param_kinds": list(result.param_kinds),
+            "ret_kind": result.ret_kind,
+        }
+    return {
+        "inlinable": False,
+        "reason": result.reason,
+        "detail": result.detail,
+    }
+
+
+def _finding_dict(finding: Finding) -> dict:
+    return {
+        "level": finding.level,
+        "kind": finding.kind,
+        "where": finding.where,
+        "pc": finding.pc,
+        "message": finding.message,
+    }
+
+
+def bounds_main(argv: Optional[List[str]] = None) -> int:
+    """``python -m repro.analysis bounds`` — resource-bound certificates.
+
+    Prints each function's :class:`ResourceCertificate` (worst-case fuel
+    and heap as symbolic functions of the inputs, call depth, proven
+    minimums) plus its per-loop trip bounds.  Unbounded functions are
+    reported, not failed — an intentionally input-dependent UDF does not
+    break CI.  A target that cannot be loaded or verified exits 2.
+    """
+    import json
+
+    from .bounds import certify_class
+
+    parser = _cli_parser(
+        "python -m repro.analysis bounds",
+        "Static resource-bound certification over UDF classes.",
+        "kept for interface symmetry (load/verify failures always exit 2)",
+    )
+    opts = parser.parse_args(argv)
+
+    failures: List[dict] = []
+    documents: List[dict] = []
+    for label, cls in _gather(opts.targets, failures):
+        certificates = certify_class(cls)
+        if opts.json:
+            documents.append({
+                "target": label,
+                "class": cls.name,
+                "functions": {
+                    name: _certificate_dict(certificates.functions[name])
+                    for name in sorted(certificates.functions)
+                },
+            })
+            continue
+        print(f"-- {label}")
+        for name in sorted(certificates.functions):
+            cert = certificates.functions[name]
+            print("  " + cert.describe())
+            for loop in cert.loops:
+                print("    " + loop.describe())
+    if opts.json:
+        print(json.dumps(
+            {"classes": documents, "failures": failures}, indent=2
+        ))
+    else:
+        _print_failures(failures)
+    return _exit_code(_failure_count(failures), 0, opts.strict)
 
 
 def inline_main(argv: Optional[List[str]] = None) -> int:
@@ -288,78 +432,199 @@ def inline_main(argv: Optional[List[str]] = None) -> int:
 
     For every UDF in every target: the lifted SQL expression the
     optimizer would substitute at call sites (``inlinable``), or the
-    structured refusal (``refused (<reason>): detail``).  ``--strict``
-    exits nonzero only on load/verify failures — a UDF that genuinely
-    needs a loop is a fact, not a CI regression.
+    structured refusal (``refused (<reason>): detail``).  A UDF that
+    genuinely needs a loop is a fact, not a CI regression; only a
+    target that cannot be loaded or verified fails the run (exit 2).
     """
-    import argparse
+    import json
 
     from .decompile import InlineTemplate, decompile_class
     from .effects import analyze_class as _analyze
 
-    parser = argparse.ArgumentParser(
-        prog="python -m repro.analysis inline",
-        description="Froid-style decompilation report over UDF classes.",
-    )
-    parser.add_argument(
-        "targets", nargs="+", type=Path,
-        help="classfile (.jagc), JagScript source, Python file with "
-             "embedded UDF payloads, or a directory of such files",
-    )
-    parser.add_argument(
-        "--strict", action="store_true",
-        help="exit nonzero when any target fails to load or verify",
+    parser = _cli_parser(
+        "python -m repro.analysis inline",
+        "Froid-style decompilation report over UDF classes.",
+        "kept for interface symmetry (load/verify failures always exit 2)",
     )
     opts = parser.parse_args(argv)
 
-    failures = 0
-    for target in _expand_targets(opts.targets):
-        try:
-            classes = load_targets(target)
-        except (OSError, ClassFormatError, CompileError,
-                UnicodeDecodeError) as exc:
-            print(f"{target}: cannot load: {exc}")
-            failures += 1
+    failures: List[dict] = []
+    documents: List[dict] = []
+    for label, cls in _gather(opts.targets, failures):
+        # The decompiler consults the effect summaries; the lint path
+        # loads classes without a ClassLoader, so run the analysis here
+        # the way the loader would have.
+        _analyze(cls)
+        results = decompile_class(cls)
+        if opts.json:
+            documents.append({
+                "target": label,
+                "class": cls.name,
+                "functions": {
+                    name: _inline_dict(results[name])
+                    for name in sorted(results)
+                },
+            })
             continue
-        if not classes:
-            print(f"{target}: no UDF payloads found")
-            continue
-        for label, cls in classes:
-            print(f"-- {label}")
-            try:
-                verify_class(
-                    cls,
-                    self_resolver(cls, callbacks=_standard_callbacks()),
-                )
-            except (VerifyError, LinkError) as exc:
-                print(f"  error: [verify] {exc}")
-                failures += 1
-                continue
-            # The decompiler consults the effect summaries; the lint
-            # path loads classes without a ClassLoader, so run the
-            # analysis here the way the loader would have.
-            _analyze(cls)
-            results = decompile_class(cls)
-            for name in sorted(results):
-                result = results[name]
-                if isinstance(result, InlineTemplate):
-                    from ..sql.explain import render_expr
+        print(f"-- {label}")
+        for name in sorted(results):
+            result = results[name]
+            if isinstance(result, InlineTemplate):
+                from ..sql.explain import render_expr
 
-                    print(
-                        f"  {name}: inlinable "
-                        f"[{result.nodes} node(s)] -> "
-                        f"{render_expr(result.expr)}"
-                    )
-                else:
-                    print(f"  {name}: {result.describe()}")
-    if opts.strict and failures:
-        return 1
-    return 0
+                print(
+                    f"  {name}: inlinable "
+                    f"[{result.nodes} node(s)] -> "
+                    f"{render_expr(result.expr)}"
+                )
+            else:
+                print(f"  {name}: {result.describe()}")
+    if opts.json:
+        print(json.dumps(
+            {"classes": documents, "failures": failures}, indent=2
+        ))
+    else:
+        _print_failures(failures)
+    return _exit_code(_failure_count(failures), 0, opts.strict)
+
+
+def flows_main(argv: Optional[List[str]] = None) -> int:
+    """``python -m repro.analysis flows`` — information-flow certificates.
+
+    For every UDF: the taint labels reaching its return value and each
+    callback argument, its read-only parameters, escape/arena summary,
+    and trap sites.  Each class then gets a load-gate verdict against
+    the standard sink policy — ``refuse (static:flows)`` when tuple-
+    derived data reaches a sink callback (what CREATE FUNCTION would
+    reject), ``accept`` otherwise.  ``--strict`` turns refusals into
+    exit 1; unloadable/unverifiable targets always exit 2.
+    """
+    import json
+
+    from ..core.callbacks import standard_sink_callbacks
+    from .flows import analyze_flows
+
+    parser = _cli_parser(
+        "python -m repro.analysis flows",
+        "Static information-flow certification over UDF classes.",
+        "exit 1 when any class would be refused at load",
+    )
+    opts = parser.parse_args(argv)
+
+    sinks = standard_sink_callbacks()
+    failures: List[dict] = []
+    documents: List[dict] = []
+    refusals = 0
+    for label, cls in _gather(opts.targets, failures):
+        flows = analyze_flows(
+            cls, resolver=self_resolver(cls, callbacks=_standard_callbacks())
+        )
+        leaks = flows.tainted_sink_flows(sinks)
+        verdict = "refuse (static:flows)" if leaks else "accept"
+        if leaks:
+            refusals += 1
+        if opts.json:
+            documents.append({
+                "target": label,
+                "class": cls.name,
+                "functions": {
+                    name: flows.functions[name].as_dict()
+                    for name in sorted(flows.functions)
+                },
+                "leaks": [
+                    {
+                        "function": name,
+                        "callback": flow.callback,
+                        "pc": flow.pc,
+                        "tainted": list(flow.tainted),
+                    }
+                    for name, flow in leaks
+                ],
+                "verdict": "refuse" if leaks else "accept",
+            })
+            continue
+        print(f"-- {label}")
+        for name in sorted(flows.functions):
+            print(f"  {name}: {flows.functions[name].describe()}")
+        for name, flow in leaks:
+            print(
+                f"  leak: {name}: {flow.callback}@{flow.pc} <- "
+                f"{{{', '.join(flow.tainted)}}}"
+            )
+        print(f"  verdict: {verdict}")
+    if opts.json:
+        print(json.dumps(
+            {"classes": documents, "failures": failures}, indent=2
+        ))
+    else:
+        _print_failures(failures)
+    return _exit_code(_failure_count(failures), refusals, opts.strict)
+
+
+def report_main(argv: Optional[List[str]] = None) -> int:
+    """``python -m repro.analysis report`` — every certificate, one doc.
+
+    Runs the whole load-time pipeline (effects, resource bounds, derived
+    cost hints, decompilation, information flows) over each target and
+    emits a single JSON document per run: what CREATE FUNCTION would
+    know about the UDF, in machine-readable form.  Always JSON.
+    """
+    import json
+
+    from ..core.callbacks import standard_sink_callbacks
+    from .bounds import certify_class
+    from .costs import derive_cost_hints
+    from .decompile import decompile_class
+    from .flows import analyze_flows
+
+    parser = _cli_parser(
+        "python -m repro.analysis report",
+        "Full static-certificate report (JSON) over UDF classes.",
+        "kept for interface symmetry (load/verify failures always exit 2)",
+    )
+    opts = parser.parse_args(argv)
+
+    sinks = standard_sink_callbacks()
+    failures: List[dict] = []
+    documents: List[dict] = []
+    for label, cls in _gather(opts.targets, failures):
+        summary = analyze_class(cls)
+        certificates = certify_class(cls)
+        inline_results = decompile_class(cls)
+        flows = analyze_flows(
+            cls, resolver=self_resolver(cls, callbacks=_standard_callbacks())
+        )
+        functions = {}
+        for name in sorted(cls.functions):
+            fsum = summary.functions[name]
+            cert = certificates.functions[name]
+            hints = derive_cost_hints(fsum, cert)
+            functions[name] = {
+                "effects": _summary_dict(fsum),
+                "bounds": _certificate_dict(cert),
+                "cost": {
+                    "cost_per_call": hints.cost_per_call,
+                    "selectivity": hints.selectivity,
+                    "derived": hints.derived,
+                },
+                "inline": _inline_dict(inline_results[name]),
+                "flows": flows.functions[name].as_dict(),
+            }
+        leaks = flows.tainted_sink_flows(sinks)
+        documents.append({
+            "target": label,
+            "class": cls.name,
+            "functions": functions,
+            "findings": [_finding_dict(f) for f in lint_class(cls)],
+            "flow_verdict": "refuse" if leaks else "accept",
+        })
+    print(json.dumps({"classes": documents, "failures": failures}, indent=2))
+    return _exit_code(_failure_count(failures), 0, opts.strict)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
-    import argparse
+    import json
     import sys
 
     if argv is None:
@@ -368,55 +633,49 @@ def main(argv: Optional[List[str]] = None) -> int:
         return bounds_main(argv[1:])
     if argv and argv[0] == "inline":
         return inline_main(argv[1:])
+    if argv and argv[0] == "flows":
+        return flows_main(argv[1:])
+    if argv and argv[0] == "report":
+        return report_main(argv[1:])
 
-    parser = argparse.ArgumentParser(
-        prog="python -m repro.analysis",
-        description="Static effect/cost/loop lint over JaguarVM UDF classes.",
-    )
-    parser.add_argument(
-        "targets", nargs="+", type=Path,
-        help="classfile (.jagc), JagScript source, or Python file with "
-             "embedded UDF payloads",
-    )
-    parser.add_argument(
-        "--strict", action="store_true",
-        help="exit nonzero when any error-level finding is reported",
+    parser = _cli_parser(
+        "python -m repro.analysis",
+        "Static effect/cost/loop lint over JaguarVM UDF classes.",
+        "exit nonzero when any error-level finding is reported",
     )
     opts = parser.parse_args(argv)
 
     errors = 0
-    for target in opts.targets:
-        try:
-            classes = load_targets(target)
-        except (OSError, ClassFormatError, CompileError,
-                UnicodeDecodeError) as exc:
-            print(f"{target}: cannot load: {exc}")
-            return 2
-        if not classes:
-            print(f"{target}: no UDF payloads found")
+    failures: List[dict] = []
+    documents: List[dict] = []
+    for label, cls in _gather(opts.targets, failures):
+        analyze_class(cls)
+        findings = lint_class(cls)
+        errors += sum(1 for f in findings if f.level == ERROR)
+        if opts.json:
+            documents.append({
+                "target": label,
+                "class": cls.name,
+                "functions": {
+                    name: _summary_dict(cls.analysis.functions[name])
+                    for name in sorted(cls.functions)
+                },
+                "findings": [_finding_dict(f) for f in findings],
+            })
             continue
-        for label, cls in classes:
-            print(f"-- {label}")
-            try:
-                verify_class(
-                    cls,
-                    self_resolver(cls, callbacks=_standard_callbacks()),
-                )
-            except (VerifyError, LinkError) as exc:
-                print(f"  error: [verify] {exc}")
-                errors += 1
-                continue
-            analyze_class(cls)
-            findings = lint_class(cls)
-            print(f"class {cls.name} ({len(cls.functions)} function(s))")
-            for name in cls.functions:
-                print("  " + cls.analysis.functions[name].describe())
-            if findings:
-                for finding in findings:
-                    print("  " + finding.render())
-            else:
-                print("  clean: no findings")
-            errors += sum(1 for f in findings if f.level == ERROR)
-    if opts.strict and errors:
-        return 1
-    return 0
+        print(f"-- {label}")
+        print(f"class {cls.name} ({len(cls.functions)} function(s))")
+        for name in cls.functions:
+            print("  " + cls.analysis.functions[name].describe())
+        if findings:
+            for finding in findings:
+                print("  " + finding.render())
+        else:
+            print("  clean: no findings")
+    if opts.json:
+        print(json.dumps(
+            {"classes": documents, "failures": failures}, indent=2
+        ))
+    else:
+        _print_failures(failures)
+    return _exit_code(_failure_count(failures), errors, opts.strict)

@@ -41,12 +41,33 @@ _STANDARD_SIGNATURES: Dict[str, Signature] = {
     # Partial reads of a large object through a handle (Clip()/Lookup()).
     "cb_lob_length": ((I,), I),
     "cb_lob_read": ((I, I, I), A),
+    # Diagnostic logging: a UDF may record an integer status code in the
+    # server log.  The code leaves the sandbox, which makes this an
+    # *egress sink*: the flow certifier must prove no tuple-derived
+    # value can reach it (see SINK_CALLBACKS).
+    "cb_log": ((I,), I),
 }
+
+#: Callbacks whose arguments leave the database's confinement boundary
+#: (logs, traces, external channels).  The information-flow pass refuses
+#: at load any UDF whose bytecode can move tuple-derived data into one
+#: of these, with a ``static:flows`` audit entry.
+SINK_CALLBACKS = frozenset({"cb_log"})
+
+#: Callbacks that only *read* server state and are safe to invoke from
+#: concurrent Exchange workers.  A UDF whose effects are limited to
+#: these is parallelism-safe even though it is not pure.
+READ_ONLY_CALLBACKS = frozenset({"cb_noop", "cb_lob_length", "cb_lob_read"})
 
 
 def standard_callback_signatures() -> Dict[str, Signature]:
     """A copy of the standard signature table (safe to extend)."""
     return dict(_STANDARD_SIGNATURES)
+
+
+def standard_sink_callbacks() -> frozenset:
+    """The deployment's declared egress-sink callbacks."""
+    return SINK_CALLBACKS
 
 
 class CallbackBroker:
@@ -131,6 +152,17 @@ def _cb_noop(binding: CallbackBinding) -> int:
     return 0
 
 
+def _cb_log(binding: CallbackBinding, code: int) -> int:
+    # The log lives on the binding so tests/examples can inspect what a
+    # UDF tried to emit; a real deployment would append to the server
+    # log, i.e. outside the confinement boundary.
+    log = getattr(binding, "log_records", None)
+    if log is None:
+        log = binding.log_records = []
+    log.append(code)
+    return 0
+
+
 def _cb_lob_length(binding: CallbackBinding, handle: int) -> int:
     target = binding.resolve_handle(handle)
     return _lob_length(target)
@@ -171,4 +203,5 @@ def _standard_handlers() -> Dict[str, Callable]:
         "cb_noop": _cb_noop,
         "cb_lob_length": _cb_lob_length,
         "cb_lob_read": _cb_lob_read,
+        "cb_log": _cb_log,
     }

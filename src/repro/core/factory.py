@@ -113,13 +113,14 @@ def validate_definition(
 ) -> Optional[object]:
     """Registration-time checks: fail at CREATE FUNCTION, not mid-query.
 
-    For sandboxed designs, returns a ``(summary, certificate, inline)``
-    triple — the entry function's static effect summary
+    For sandboxed designs, returns a ``(summary, certificate, inline,
+    flows)`` tuple — the entry function's static effect summary
     (``repro.analysis.effects.FunctionSummary``), resource certificate
-    (``repro.analysis.bounds.ResourceCertificate``), and decompilation
+    (``repro.analysis.bounds.ResourceCertificate``), decompilation
     result (``repro.analysis.decompile.InlineTemplate`` or
-    ``InlineRefusal``); native designs are opaque host code and return
-    ``None``.
+    ``InlineRefusal``), and flow certificate
+    (``repro.analysis.flows.FlowCertificate``); native designs are
+    opaque host code and return ``None``.
     """
     if definition.design.is_sandboxed:
         from .sandbox import load_sandbox_payload

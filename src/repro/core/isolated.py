@@ -451,6 +451,12 @@ class RemoteExecutor(UDFExecutor):
                 definition.fuel,
                 definition.memory,
                 definition.design is not Design.SANDBOX_INTERP,
+                # Copy elision for flow-certified read-only parameters:
+                # the worker re-verifies and re-certifies the classfile
+                # itself, but the server-side gate (definition.flows)
+                # ships along so stripping the certificate restores the
+                # defensive-copy baseline end to end.
+                definition.flows is not None,
             )
         else:
             # Validate importability in the server before shipping the
@@ -873,7 +879,8 @@ def _build_worker_invoker(worker_payload: tuple, port: _RemoteCallbackPort):
         return lambda args: func(*args)
 
     if kind == "jaguar":
-        __, class_bytes, entry, callbacks, fuel, memory, use_jit = worker_payload
+        (__, class_bytes, entry, callbacks, fuel, memory, use_jit,
+         elide_copies) = worker_payload
         from ..vm.machine import JaguarVM
         from ..vm.security import Permissions
         from .callbacks import standard_callback_signatures
@@ -896,10 +903,19 @@ def _build_worker_invoker(worker_payload: tuple, port: _RemoteCallbackPort):
             memory=memory or None,
         )
         context = loaded.make_context()
+        # ``make_invoker`` hoists lookup/JIT out of the loop and, when
+        # the worker-side flow certificate proves parameters read-only,
+        # skips the defensive copy of byte arrays arriving from shared
+        # memory — they were already copied out of the ring buffer by
+        # unpickling, so the sandbox can use that buffer directly.
+        invoke_one = loaded.make_invoker(
+            entry, context, elide_copies=elide_copies
+        )
+        account = context.account
 
         def invoke(args):
-            context.account.reset()
-            return loaded.invoke(entry, args, context=context)
+            account.reset()
+            return invoke_one(args)
 
         return invoke
 

@@ -34,6 +34,7 @@ from ..vm.classfile import MAGIC, ClassFile
 from ..vm.compiler import compile_source
 from ..vm.machine import LoadedUDF
 from ..vm.security import Permissions
+from .callbacks import standard_sink_callbacks
 from .factory import UDFExecutor
 from .udf import ServerEnvironment, UDFDefinition
 
@@ -56,13 +57,13 @@ def load_sandbox_payload(
 
     ``probe_only`` runs the full pipeline and then unloads — used at
     registration time to reject bad payloads without keeping state.  In
-    that mode the return value is a ``(summary, certificate, inline)``
-    triple: the entry function's static effect summary
+    that mode the return value is a ``(summary, certificate, inline,
+    flows)`` tuple: the entry function's static effect summary
     (``FunctionSummary``), its resource certificate
-    (``ResourceCertificate``), and its decompilation result
-    (``InlineTemplate`` or ``InlineRefusal``), all of which the registry
-    records on the definition; otherwise the :class:`LoadedUDF` is
-    returned.
+    (``ResourceCertificate``), its decompilation result
+    (``InlineTemplate`` or ``InlineRefusal``), and its flow certificate
+    (``FlowCertificate``), all of which the registry records on the
+    definition; otherwise the :class:`LoadedUDF` is returned.
     """
     payload = definition.payload
     class_name = f"udf_{definition.name}"
@@ -87,7 +88,10 @@ def load_sandbox_payload(
     loaded = vm.load_udf(
         name=load_name,
         classfiles=[classfile],
-        permissions=Permissions(callbacks=frozenset(definition.callbacks)),
+        permissions=Permissions(
+            callbacks=frozenset(definition.callbacks),
+            sinks=standard_sink_callbacks(),
+        ),
         fuel=definition.fuel,
         memory=definition.memory,
     )
@@ -116,6 +120,7 @@ def load_sandbox_payload(
             getattr(func, "summary", None),
             getattr(func, "certificate", None),
             getattr(func, "inline", None),
+            getattr(func, "flows", None),
         )
     return loaded
 
@@ -284,13 +289,27 @@ class SandboxExecutor(UDFExecutor):
         invocation that provably fits what is left cannot fault where a
         fresh account would not have, so the per-invocation quota
         semantics are preserved without touching the account each tuple.
+
+        The flow certificate adds two further fast paths.  When every
+        allocation is proven non-escaping (``arena_safe``), the batch
+        behaves like one recycled arena: each call's memory charges are
+        refunded after it returns (the allocations are garbage by then),
+        so an argument-dependent allocator no longer needs a full reset
+        per tuple — only the certified fuel bound does.  And proven
+        read-only byte-array parameters skip the defensive marshalling
+        copy inside ``make_invoker`` (gated on ``definition.flows`` so
+        stripping the certificate restores the copying baseline).
         """
         if self._context is None:
             self.begin_query()
         context = self._thread_context()
         account = context.account
+        flows = getattr(self.definition, "flows", None)
         invoke_one = self._loaded.make_invoker(
-            self.definition.entry, context, use_jit=self._use_jit
+            self.definition.entry,
+            context,
+            use_jit=self._use_jit,
+            elide_copies=flows is not None,
         )
         prof = self.profile
         if prof is not None:
@@ -298,8 +317,23 @@ class SandboxExecutor(UDFExecutor):
                 args_list, account, invoke_one, prof
             )
         fuel_need, mem_need = self._certified_call_bounds()
+        arena = flows is not None and flows.arena_safe
         results = []
-        if fuel_need is None or mem_need is None:
+        mem_limit = account.memory_limit
+        if fuel_need is not None and mem_need is None and arena:
+            # Per-batch arena: nothing this function allocates survives
+            # its return, so the heap charges are handed back after each
+            # call and only the fuel bound governs reset elision.  Only
+            # worth it when no static memory bound exists — with both
+            # bounds certified the branch below is cheaper (no per-call
+            # refund).
+            account.reset()
+            for args in args_list:
+                if account.fuel < fuel_need:
+                    account.reset()
+                results.append(invoke_one(args))
+                account.release_memory(mem_limit)
+        elif fuel_need is None or mem_need is None:
             for args in args_list:
                 account.reset()  # the quota is per invocation
                 results.append(invoke_one(args))

@@ -97,7 +97,11 @@ class UDFDefinition:
     bounds pass could prove anything; ``inline`` its decompilation
     result (:class:`~repro.analysis.decompile.InlineTemplate` when the
     body lifted to a SQL expression, else an
-    :class:`~repro.analysis.decompile.InlineRefusal`).
+    :class:`~repro.analysis.decompile.InlineRefusal`); ``flows`` its
+    information-flow certificate
+    (:class:`~repro.analysis.flows.FlowCertificate`), which gates the
+    executors' copy-elision/arena fast paths and the optimizer's
+    trap-guard elision.
     """
 
     name: str
@@ -112,6 +116,7 @@ class UDFDefinition:
     analysis: Optional[object] = field(default=None, compare=False)
     certificate: Optional[object] = field(default=None, compare=False)
     inline: Optional[object] = field(default=None, compare=False)
+    flows: Optional[object] = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         if not self.name.isidentifier():
@@ -222,12 +227,13 @@ class UDFRegistry:
         from .factory import validate_definition
 
         probe = validate_definition(definition, self.environment)
-        summary, certificate, inline = (
-            probe if probe is not None else (None, None, None)
+        summary, certificate, inline, flows = (
+            probe if probe is not None else (None, None, None, None)
         )
         definition.analysis = summary
         definition.certificate = certificate
         definition.inline = _admit_inline(definition, inline)
+        definition.flows = flows
         if definition.cost is None and summary is not None:
             from ..analysis.costs import derive_cost_hints
 

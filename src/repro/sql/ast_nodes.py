@@ -99,6 +99,11 @@ class Case(Expr):
 
     whens: Tuple[Tuple[Expr, Expr], ...]
     default: Optional[Expr] = None
+    #: The flow certifier proved no branch expression can trap (no
+    #: division by a possibly-zero value, no unproven index).  Batch
+    #: evaluation may then run every branch over the full row set and
+    #: select, instead of partitioning rows behind each guard.
+    trap_safe: bool = False
 
 
 @dataclass(frozen=True)

@@ -290,6 +290,11 @@ def _annotate(expr: A.Expr, oracle: Optional[object]) -> str:
                 f", bounded(fuel≤{describe_bound(cert.fuel_bound)}, "
                 f"mem≤{describe_bound(cert.mem_bound)})"
             )
+        flows = getattr(definition, "flows", None)
+        if flows is not None and flows.trap_free:
+            # The interval pass proved no instruction can fault, so the
+            # executors skip per-row trap partitioning for this UDF.
+            note += ", trap-free"
         notes.append(note)
     sel_observed = getattr(oracle, "observed_selectivity", lambda k: None)(
         render_expr(expr)

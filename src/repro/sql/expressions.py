@@ -388,6 +388,31 @@ def _compile_case(expr: A.Case, schema, resolver, runtime) -> EvalFn:
         children.append(default_fn)
     if any(getattr(child, "eval_batch", None) is not None
            for child in children):
+        if expr.trap_safe and len(when_fns) == 1 and default_fn is not None:
+            # Trap-free fast path (flow-certified): no branch can trap,
+            # and every scalar op / builtin is NULL-strict, so running
+            # both branches over the whole batch and selecting per row
+            # is observationally identical to partitioning — minus the
+            # per-branch row-list rebuilds.
+            ((cond_fn0, value_fn0),) = when_fns
+
+            def case_batch_trapfree(rows):
+                conds = eval_batch(cond_fn0, rows)
+                defaults = eval_batch(default_fn, rows)
+                if True not in conds:
+                    # Nobody took the WHEN branch (for the inliner's
+                    # NULL guard: a batch with no NULL arguments) — the
+                    # defaults ARE the results, no per-row selection.
+                    return defaults
+                values = eval_batch(value_fn0, rows)
+                return [
+                    v if c is True else d
+                    for c, v, d in zip(conds, values, defaults)
+                ]
+
+            case.eval_batch = case_batch_trapfree
+            return case
+
         # Short-circuit batch form: each branch value is evaluated only
         # on the rows whose condition selected it (mirroring the scalar
         # path), so trapping expressions stay behind their guards.

@@ -323,17 +323,27 @@ def _try_inline_call(
             else:
                 arg = A.FuncCall("float", (arg,))
         substituted.append(arg)
-        if not isinstance(arg, A.Literal):
+        if not isinstance(arg, A.Literal) and A.IsNull(arg) not in guards:
+            # Dedup: f(x, x) needs one NULL test on x, not two.
             guards.append(A.IsNull(arg))
     body = _substitute_params(template.expr, substituted)
     if guards:
         # Strict NULL semantics at the (former) call boundary: any NULL
         # argument yields NULL without evaluating the body, exactly as
-        # the call path shorts out before invoking the VM.
+        # the call path shorts out before invoking the VM.  When the
+        # flow certifier proved the UDF trap-free, the guard CASE is
+        # marked so batch evaluation can run the body over the whole
+        # batch and select, instead of partitioning rows per branch.
+        definition = oracle.udf_definition(name)
+        flows = getattr(definition, "flows", None)
         condition = guards[0]
         for guard in guards[1:]:
             condition = A.BinaryOp("or", condition, guard)
-        body = A.Case(whens=((condition, A.Literal(None)),), default=body)
+        body = A.Case(
+            whens=((condition, A.Literal(None)),),
+            default=body,
+            trap_safe=bool(flows is not None and flows.trap_free),
+        )
     return A.Inlined(name, body)
 
 
@@ -714,13 +724,36 @@ def _column_and_literal(
 # Rewrite 5: Exchange placement (parallel UDF evaluation)
 # ---------------------------------------------------------------------------
 
+def _read_only_effects(definition) -> bool:
+    """True when every statically inferred effect is a read-only callback.
+
+    The Exchange gate used to demand full purity.  The flow pass widens
+    it: a UDF whose only effects are read-only server callbacks
+    (``cb_lob_read`` and friends — no observable state mutated, no
+    ordering to preserve) races on nothing when its invocations
+    interleave across threads.  Requires a flow certificate: the flow
+    pass ran on the same bytecode the summary describes, so its presence
+    certifies the effect set is the analyzer's, not a declaration.
+    """
+    from ..core.callbacks import READ_ONLY_CALLBACKS
+
+    if getattr(definition, "flows", None) is None:
+        return False
+    summary = definition.analysis
+    if summary is None or getattr(summary, "unknown_effects", True):
+        return False
+    return frozenset(summary.callbacks) <= READ_ONLY_CALLBACKS
+
+
 def _parallel_profile(expr: A.Expr, oracle: CostOracle) -> Tuple[bool, bool]:
     """(safe, expensive) for evaluating ``expr`` across Exchange threads.
 
-    *Safe* is gated on the static analyzer's purity certificate: a pure
-    UDF has no shared state to race on, whether it runs in-process (each
-    thread gets its own VM context) or in a worker pool.  Native and
-    impure UDFs fall back to serial — their visible effect order must
+    *Safe* is gated on the static analyzer's certificates: a pure UDF
+    has no shared state to race on, whether it runs in-process (each
+    thread gets its own VM context) or in a worker pool; a flow-certified
+    UDF whose only effects are *read-only* callbacks is equally
+    interleaving-safe (see :func:`_read_only_effects`).  Native and
+    effectful UDFs fall back to serial — their visible effect order must
     match tuple-at-a-time execution.  LOB-handle parameters are also
     serial-only: handle minting mutates per-query runtime state.
 
@@ -738,7 +771,7 @@ def _parallel_profile(expr: A.Expr, oracle: CostOracle) -> Tuple[bool, bool]:
         if "handle" in definition.signature.param_types:
             safe = False
             continue
-        if not definition.is_pure:
+        if not definition.is_pure and not _read_only_effects(definition):
             safe = False
             continue
         per_call = oracle.observed_cost(call.name.lower())

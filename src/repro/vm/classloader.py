@@ -118,6 +118,7 @@ class ClassLoader:
         from ..analysis.bounds import certify_class
         from ..analysis.decompile import decompile_class
         from ..analysis.effects import analyze_class
+        from ..analysis.flows import analyze_flows
 
         def foreign_summary(class_name: str, func_name: str):
             try:
@@ -136,6 +137,7 @@ class ClassLoader:
         analyze_class(cls, foreign_summary=foreign_summary)
         certify_class(cls, resolver=self._resolver(),
                       foreign_certificate=foreign_certificate)
+        analyze_flows(cls, resolver=self._resolver())
         decompile_class(cls)
 
     def _resolver(self) -> Resolver:

@@ -32,7 +32,14 @@ from .opcodes import Op
 from .resources import ResourceAccount, unmetered_account
 from .security import SecurityManager, open_manager
 from .stdlib import NATIVE_IMPLS
-from .values import VMType, VMValue, coerce_argument, default_value, wrap_int
+from .values import (
+    VMType,
+    VMValue,
+    coerce_argument,
+    coerce_argument_readonly,
+    default_value,
+    wrap_int,
+)
 
 INT_MIN = -(2 ** 63)
 INT_MAX = 2 ** 63 - 1
@@ -118,11 +125,14 @@ def run_function(
     func: FunctionDef,
     args: Sequence[object],
     ctx: ExecutionContext,
+    readonly_params: Sequence[int] = (),
 ) -> VMValue:
     """Invoke ``func`` with host-level ``args`` through the JNI boundary.
 
     Arguments are marshalled (copied where mutability demands) into VM
     representations; the return value comes back as a host value.
+    ``readonly_params`` names parameter indices the flow certifier
+    proved read-only, whose byte arrays may skip the defensive copy.
     """
     if not cls.verified:
         raise VerifyError(
@@ -133,9 +143,16 @@ def run_function(
             f"{cls.name}.{func.name} expects {len(func.param_types)} "
             f"arguments, got {len(args)}"
         )
-    vm_args = [
-        coerce_argument(a, t) for a, t in zip(args, func.param_types)
-    ]
+    if readonly_params:
+        vm_args = [
+            coerce_argument_readonly(a, t) if i in readonly_params
+            else coerce_argument(a, t)
+            for i, (a, t) in enumerate(zip(args, func.param_types))
+        ]
+    else:
+        vm_args = [
+            coerce_argument(a, t) for a, t in zip(args, func.param_types)
+        ]
     return _execute(cls, func, vm_args, ctx)
 
 

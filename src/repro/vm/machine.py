@@ -23,7 +23,7 @@ from .interpreter import ExecutionContext, run_function
 from .jit import JitCompiler, invoke_jit
 from .resources import DEFAULT_POLICY, QuotaPolicy, ResourceAccount
 from .security import Permissions, SecurityManager, Signature
-from .values import coerce_argument
+from .values import coerce_argument, coerce_argument_readonly
 
 
 class LoadedUDF:
@@ -110,6 +110,7 @@ class LoadedUDF:
         func_name: str,
         context: ExecutionContext,
         use_jit: Optional[bool] = None,
+        elide_copies: bool = True,
     ) -> Callable[[Sequence[object]], object]:
         """Build a per-call closure with invocation-invariant work hoisted.
 
@@ -117,6 +118,12 @@ class LoadedUDF:
         paid here; the returned callable only marshals arguments and
         runs.  This is the batch fast path: the executor enters the VM
         once per batch and calls the closure once per tuple.
+
+        When ``elide_copies`` is true and the function carries a flow
+        certificate, byte-array arguments for parameters proven
+        read-only skip the defensive marshalling copy (the Figure 5
+        boundary tax) — the certificate guarantees the UDF cannot write
+        through or retain them.
         """
         func = self.main_class.functions.get(func_name)
         if func is None:
@@ -124,10 +131,17 @@ class LoadedUDF:
                 f"UDF {self.name!r} has no function {func_name!r}"
             )
         cls = self.main_class
+        readonly: frozenset = frozenset()
+        if elide_copies:
+            flows = getattr(func, "flows", None)
+            if flows is not None:
+                readonly = frozenset(flows.readonly_params)
         jit = self.use_jit if use_jit is None else use_jit
         if not jit:
             def invoke_interp(args: Sequence[object]) -> object:
-                return run_function(cls, func, args, context)
+                return run_function(
+                    cls, func, args, context, readonly_params=readonly
+                )
 
             return invoke_interp
         if not cls.verified:
@@ -138,6 +152,11 @@ class LoadedUDF:
         param_types = func.param_types
         nparams = len(param_types)
         account = context.account
+        coercers = [
+            coerce_argument_readonly if index in readonly
+            else coerce_argument
+            for index in range(nparams)
+        ]
 
         def invoke_one(args: Sequence[object]) -> object:
             if len(args) != nparams:
@@ -146,7 +165,7 @@ class LoadedUDF:
                     f"arguments, got {len(args)}"
                 )
             vm_args = [
-                coerce_argument(a, t) for a, t in zip(args, param_types)
+                c(a, t) for c, a, t in zip(coercers, args, param_types)
             ]
             account.enter_call()
             try:
@@ -247,6 +266,14 @@ class JaguarVM:
                 security.check_resource_bounds(
                     certificates, policy.fuel, policy.memory, where=cls.name
                 )
+        # Static information-flow gate (flow certificates from
+        # define_class): a class whose bytecode can move tuple-derived
+        # data into a policy-declared sink callback is a confinement
+        # breach; reject it here with a static:flows audit trail.
+        for cls in admitted:
+            flows = getattr(cls, "flows", None)
+            if flows is not None:
+                security.check_flows(flows, where=cls.name)
         udf = LoadedUDF(
             name=name,
             loader=loader,

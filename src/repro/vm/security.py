@@ -38,6 +38,11 @@ class Permissions:
     callbacks: FrozenSet[str] = frozenset()
     natives: Optional[FrozenSet[str]] = None
     may_spawn_threads: bool = False
+    #: Granted callbacks whose arguments leave the confinement boundary
+    #: (logging, tracing).  A sink grant means the UDF may *invoke* the
+    #: callback, but the flow certifier must prove no tuple-derived
+    #: value reaches its arguments; otherwise the load is refused.
+    sinks: FrozenSet[str] = frozenset()
 
     @staticmethod
     def none() -> "Permissions":
@@ -187,6 +192,46 @@ class SecurityManager:
                     f"allocates ≥ {cert.min_memory} bytes but the quota "
                     f"is {memory}; rejected at load"
                 )
+
+    def check_flows(
+        self,
+        flows,
+        where: Optional[str] = None,
+    ) -> None:
+        """Load-time gate over *statically proven* information flows.
+
+        ``flows`` is an ``analysis.flows.ClassFlows`` rollup.  For every
+        callback the policy declares an egress *sink* (see
+        ``Permissions.sinks``), the flow certificates name exactly which
+        taint labels — ``arg{i}`` for tuple-derived parameters, ``cb:*``
+        for server/LOB-derived callback results — can reach each call
+        argument.  Any tainted label reaching a sink means the UDF could
+        smuggle database contents past the confinement boundary, so the
+        class is rejected at load with a ``static:flows`` audit entry.
+        Clean sink invocations (constant arguments only) are allowed and
+        recorded as such.
+        """
+        subject = where or self.class_name
+        sinks = self.permissions.sinks
+        for name in sorted(flows.functions):
+            cert = flows.functions[name]
+            for flow in cert.callback_flows:
+                if flow.callback not in sinks:
+                    continue
+                tainted = flow.tainted
+                allowed = self.allow_all or not tainted
+                self._record(
+                    "static:flows",
+                    f"{name}: {flow.callback}@{flow.pc} <- "
+                    f"{{{', '.join(tainted)}}}",
+                    allowed,
+                )
+                if not allowed:
+                    raise SecurityViolation(
+                        f"UDF class {subject!r}: function {name!r} passes "
+                        f"tuple-derived data ({', '.join(tainted)}) to sink "
+                        f"callback {flow.callback!r}; rejected at load"
+                    )
 
     def denials(self) -> List[AuditRecord]:
         """All denied actions, for the DBA's forensic queries."""

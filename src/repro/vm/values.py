@@ -176,3 +176,19 @@ def coerce_argument(value: object, vm_type: VMType) -> VMValue:
             return array("d", [float(x) for x in value])
         raise VMRuntimeError(f"expected float-array argument, got {value!r}")
     raise VMRuntimeError(f"cannot pass argument of type {vm_type}")
+
+
+def coerce_argument_readonly(value: object, vm_type: VMType) -> VMValue:
+    """Marshal an argument the flow certifier proved *read-only*.
+
+    Identical to :func:`coerce_argument` except that byte arrays are
+    passed by reference instead of defensively copied.  Only sound when
+    the static escape analysis proved the parameter is never written
+    through (no reachable ASTORE on an alias) and never retained past
+    the call — the interpreter and JIT index ``bytes`` and ``bytearray``
+    identically, so a mutation-free function cannot tell the difference,
+    and the caller's buffer cannot be corrupted.
+    """
+    if vm_type is VMType.ARR and isinstance(value, (bytes, memoryview)):
+        return value  # zero-copy: proven read-only
+    return coerce_argument(value, vm_type)

@@ -571,10 +571,13 @@ class TestBoundsCli:
         assert lint_main(["bounds", str(target), "--strict"]) == 0
         assert "fuel≤⊤" in capsys.readouterr().out
 
-    def test_strict_fails_on_unloadable_target(self, tmp_path):
+    def test_unloadable_target_exits_two(self, tmp_path):
         target = tmp_path / "broken.jag"
         target.write_text("def f(:\n")
-        assert lint_main(["bounds", str(target), "--strict"]) == 1
+        # The shared CLI convention: load/verify failures exit 2 with or
+        # without --strict.
+        assert lint_main(["bounds", str(target)]) == 2
+        assert lint_main(["bounds", str(target), "--strict"]) == 2
 
     def test_directory_target_expands_members(self, tmp_path, capsys):
         (tmp_path / "a.jag").write_text(STRAIGHT)

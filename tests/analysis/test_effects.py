@@ -226,3 +226,64 @@ class TestDerivedVersusDeclared:
         hints = derive_cost_hints(summary)
         assert hints.cost_per_call >= 1.0
         assert hints.derived
+
+
+class TestEdgeCases:
+    """Shapes the effect analyzer must not lose: loops, trap paths,
+    conditional callbacks, and mutual recursion."""
+
+    def test_callback_in_loop_recorded_and_costed_per_iteration(self):
+        flat = analyzed(
+            "def once(x: int) -> int:\n    return cb_noop()\n"
+        ).functions["once"]
+        looped = analyzed(
+            "def churn(n: int) -> int:\n"
+            "    s: int = 0\n"
+            "    for i in range(n):\n"
+            "        s = s + cb_noop()\n"
+            "    return s\n"
+        ).functions["churn"]
+        assert looped.callbacks == frozenset({"cb_noop"})
+        assert not looped.pure
+        assert looped.may_not_terminate
+        # A looped callback is charged per expected iteration, not once.
+        assert looped.cost_units > 10 * flat.cost_units
+
+    def test_effects_on_trap_path_still_recorded(self):
+        # The division may trap before the callback ever runs; the
+        # summary must still over-approximate and keep the callback.
+        summary = analyzed(
+            "def risky(x: int) -> int:\n"
+            "    y: int = 10 // x\n"
+            "    return y + cb_noop()\n"
+        ).functions["risky"]
+        assert summary.callbacks == frozenset({"cb_noop"})
+        assert not summary.pure
+
+    def test_callback_on_single_branch_breaks_purity(self):
+        summary = analyzed(
+            "def maybe(x: int) -> int:\n"
+            "    if x > 0:\n"
+            "        return cb_noop()\n"
+            "    return 0\n"
+        ).functions["maybe"]
+        assert summary.callbacks == frozenset({"cb_noop"})
+        assert not summary.pure
+
+    def test_mutual_recursion_unions_effects_across_the_cycle(self):
+        rollup = analyzed(
+            "def ping(n: int) -> int:\n"
+            "    if n <= 0:\n"
+            "        return 0\n"
+            "    return pong(n - 1)\n"
+            "def pong(n: int) -> int:\n"
+            "    return ping(n - 1) + cb_noop()\n"
+        )
+        ping, pong = rollup.functions["ping"], rollup.functions["pong"]
+        assert ping.recursive and pong.recursive
+        assert ping.may_not_terminate and pong.may_not_terminate
+        # The callback lives in pong, but the SCC closure must charge
+        # the whole cycle with it.
+        assert ping.callbacks == frozenset({"cb_noop"})
+        assert pong.callbacks == frozenset({"cb_noop"})
+        assert not ping.pure

@@ -69,10 +69,12 @@ class TestInlineSubcommand:
         assert "inlinable" in out
         assert "refused (" in out
 
-    def test_load_failure_counts_only_under_strict(self, tmp_path, capsys):
+    def test_load_failure_exits_two(self, tmp_path, capsys):
         bad = _write(tmp_path, "bad.jag", "def broken(:::\n")
-        assert inline_main([str(bad)]) == 0
-        assert inline_main(["--strict", str(bad)]) == 1
+        # Unanalyzable input is never a clean run: exit 2, strict or not
+        # (the shared CLI exit-code convention).
+        assert inline_main([str(bad)]) == 2
+        assert inline_main(["--strict", str(bad)]) == 2
         out = capsys.readouterr().out
         assert "cannot load" in out
 

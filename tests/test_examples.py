@@ -39,13 +39,18 @@ def test_malicious_example_reports_all_attacks_stopped():
         text=True,
         timeout=180,
     )
-    assert "All six attacks neutralized." in completed.stdout
+    assert "All seven attacks neutralized." in completed.stdout
     assert "stopped" in completed.stdout
     assert "contained" in completed.stdout
     # The provable allocation bomb must be refused at registration by
     # the static bounds certifier, not killed mid-query.
     assert "stopped at CREATE FUNCTION" in completed.stdout
     assert "provably allocates" in completed.stdout
+    # The exfiltrating UDF must be refused by the information-flow pass
+    # at registration, while the constant-argument logger is admitted.
+    assert "passes tuple-derived data" in completed.stdout
+    assert "sink callback 'cb_log'" in completed.stdout
+    assert "constant-argument cb_log UDF accepted" in completed.stdout
 
 
 def test_bench_cli_runs_table1():

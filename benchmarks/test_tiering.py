@@ -1,0 +1,196 @@
+#!/usr/bin/env python3
+"""Tiered-execution sweep: arith UDF cost, tier 0 vs tier 1.
+
+Fig 5's invocation-cost protocol (base table-access cost subtracted)
+applied to the pure arithmetic UDF (``x * 3 + 1``) at batch size 64.
+With ``tiering=False`` every design takes its seed execution path; with
+``tiering=True`` and ``tier1_threshold=0`` the profile promotes each
+eligible UDF to a type-specialized whole-batch kernel on its first
+batch.  The in-process sandboxed designs (JNI, JNI-int) should speed up
+by >=2x — guards, unboxing, and metering are hoisted out of the row
+loop — while the native control (C++) has no bytecode to specialize and
+stays ~1.00x.  ``meta.tier_status`` records the per-design tier state.
+
+Run::
+
+    python benchmarks/test_tiering.py                        # full sweep
+    python benchmarks/test_tiering.py --smoke                # CI sanity run
+    python benchmarks/test_tiering.py --out BENCH_tiering.json
+    pytest benchmarks/test_tiering.py                        # assertions only
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench.figures import TIERING_DESIGNS, run_tiering  # noqa: E402
+from repro.bench.harness import Timer  # noqa: E402
+from repro.bench.workload import BenchmarkWorkload  # noqa: E402
+from repro.core.designs import Design  # noqa: E402
+
+#: The designs the >=2x gate applies to: in-process sandboxed execution,
+#: where the batch kernel replaces per-row VM entry.  The isolated
+#: sandbox promotes too (inside its workers) but its cost is dominated
+#: by the shared-memory round trip, so it is swept, not gated.
+GATED = (Design.SANDBOX_JIT, Design.SANDBOX_INTERP)
+
+
+def run(smoke: bool = False) -> dict:
+    """Execute the sweep and return a JSON-ready result dict."""
+    cardinality = 2000
+    counts = (2000,) if smoke else (100, 1000, 2000)
+    timer = Timer(repeat=3 if smoke else 9, warmup=1)
+    with BenchmarkWorkload(
+        cardinality=cardinality, sizes=(1,), use_generic=False,
+        designs=TIERING_DESIGNS,
+    ) as workload:
+        result = run_tiering(workload, invocation_counts=counts, timer=timer)
+    series = {
+        label: [{"calls": x, "seconds": s} for x, s in points]
+        for label, points in result.series.items()
+    }
+    gate_count = max(counts)
+    floor = 5e-4  # subtracted timings can bottom out in scheduler noise
+    speedup = {}
+    for design in TIERING_DESIGNS:
+        tier0 = dict(result.series[f"{design.paper_label} tier0"])
+        tier1 = dict(result.series[f"{design.paper_label} tier1"])
+        speedup[design.paper_label] = {
+            str(count): round(
+                max(tier0[count], floor) / max(tier1[count], floor), 2
+            )
+            for count in tier0
+        }
+    totals = result.meta["totals"][Design.NATIVE_INTEGRATED.value]
+    control = totals["tier0"][gate_count] / totals["tier1"][gate_count]
+    out = {
+        "experiment": "tiering",
+        "cardinality": cardinality,
+        "gate_count": gate_count,
+        "meta": result.meta,
+        "series": series,
+        "speedup_tier0_over_tier1": speedup,
+        # End-to-end (un-subtracted) ratio for the native control: host
+        # code has no tier 1, so total query time must be unchanged.
+        "native_control_total_ratio": round(control, 3),
+    }
+    for label, points in sorted(series.items()):
+        line = ", ".join(
+            f"{p['calls']:>5d} calls: {p['seconds'] * 1e3:8.2f} ms"
+            for p in points
+        )
+        print(f"{label:20s} {line}")
+    return out
+
+
+def _cost(results: dict, label: str, calls: int) -> float:
+    for point in results["series"][label]:
+        if point["calls"] == calls:
+            return point["seconds"]
+    raise KeyError((label, calls))
+
+
+# -- pytest entry points ------------------------------------------------------
+
+def _timing_gate(check, attempts: int = 3):
+    """Re-measure on failure: wall-clock gates on a shared machine get a
+    bounded number of fresh runs before the assertion counts."""
+    for attempt in range(attempts):
+        try:
+            return check(run(smoke=True))
+        except AssertionError:
+            if attempt == attempts - 1:
+                raise
+
+
+def test_sandboxed_designs_speed_up_and_native_control_is_flat():
+    def check(results):
+        calls = results["gate_count"]
+        for design in GATED:
+            ratio = results["speedup_tier0_over_tier1"][design.paper_label]
+            assert ratio[str(calls)] >= 2.0, (design, ratio, results)
+        # ~1.00x: tiering adds no fast path to host code, only a counter.
+        control = results["native_control_total_ratio"]
+        assert 0.8 <= control <= 1.25, (control, results)
+
+    _timing_gate(check)
+
+
+def test_gap_to_integrated_narrows():
+    """Tier 1 closes (part of) the sandbox-vs-native gap."""
+    def check(results):
+        calls = results["gate_count"]
+        floor = 1e-4
+        cpp = Design.NATIVE_INTEGRATED.paper_label
+        for design in GATED:
+            label = design.paper_label
+            gap0 = _cost(results, f"{label} tier0", calls) - _cost(
+                results, f"{cpp} tier0", calls
+            )
+            gap1 = _cost(results, f"{label} tier1", calls) - _cost(
+                results, f"{cpp} tier1", calls
+            )
+            assert gap1 < max(gap0, floor), (design, gap0, gap1, results)
+
+    _timing_gate(check)
+
+
+def test_eligible_udfs_actually_promoted():
+    results = run(smoke=True)
+    status = results["meta"]["tier_status"]
+    for design in GATED:
+        snapshot = status[design.value]
+        assert snapshot["tier"] == 1, status
+        assert snapshot["promotions"] >= 1, status
+        assert snapshot["tier1_batches"] > 0, status
+    assert status[Design.NATIVE_INTEGRATED.value] == "tier0(native-control)"
+    assert status[Design.SANDBOX_ISOLATED.value] == "worker-local"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small cardinality, single invocation count (CI sanity run)",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=None,
+        help="write results as JSON to this path",
+    )
+    parser.add_argument(
+        "--attempts", type=int, default=3,
+        help="re-measure up to N times if a wall-clock gate misses "
+        "(noisy shared machines)",
+    )
+    opts = parser.parse_args(argv)
+    for attempt in range(max(opts.attempts, 1)):
+        results = run(smoke=opts.smoke)
+        calls = str(results["gate_count"])
+        speedups = results["speedup_tier0_over_tier1"]
+        ok = True
+        for design in GATED:
+            ratio = speedups[design.paper_label][calls]
+            print(f"{design.paper_label} tier0/tier1 at {calls} calls: "
+                  f"{ratio:.2f}x")
+            ok = ok and ratio >= 2.0
+        control = results["native_control_total_ratio"]
+        print(f"{Design.NATIVE_INTEGRATED.paper_label} control "
+              f"(total-time ratio): {control:.2f}x")
+        ok = ok and 0.8 <= control <= 1.25
+        if ok:
+            break
+        print(f"gate missed (attempt {attempt + 1}), re-measuring...")
+    print(f"tier status: {results['meta']['tier_status']}")
+    if opts.out is not None:
+        opts.out.write_text(json.dumps(results, indent=2) + "\n")
+        print(f"wrote {opts.out}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

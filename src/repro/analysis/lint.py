@@ -561,6 +561,75 @@ def flows_main(argv: Optional[List[str]] = None) -> int:
     return _exit_code(_failure_count(failures), refusals, opts.strict)
 
 
+def tier_main(argv: Optional[List[str]] = None) -> int:
+    """``python -m repro.analysis tier`` — tier-1 eligibility report.
+
+    For every UDF: whether the tiered executor could promote it to a
+    type-specialized whole-batch kernel, and when not, the structured
+    refusal reason (``callback``, ``untyped-op``,
+    ``trap-without-certificate``, ``unbounded-fuel``,
+    ``mutable-array-param``).  An ineligible UDF simply stays on tier 0
+    — it is a fact, not a CI regression — so refusals only gate with
+    ``--strict``; unloadable/unverifiable targets always exit 2.
+    """
+    import json
+
+    from ..vm.tier import kernel_eligibility
+    from .bounds import certify_class
+    from .flows import analyze_flows
+
+    parser = _cli_parser(
+        "python -m repro.analysis tier",
+        "Tier-1 batch-kernel eligibility report over UDF classes.",
+        "exit 1 when any function is refused tier-1 promotion",
+    )
+    opts = parser.parse_args(argv)
+
+    failures: List[dict] = []
+    documents: List[dict] = []
+    refused = 0
+    for label, cls in _gather(opts.targets, failures):
+        # Eligibility reads the same per-function certificates the
+        # loader attaches (effects, bounds, flows); the lint path loads
+        # classes bare, so run those passes here.
+        analyze_class(cls)
+        certify_class(cls)
+        analyze_flows(
+            cls, resolver=self_resolver(cls, callbacks=_standard_callbacks())
+        )
+        verdicts = {
+            name: kernel_eligibility(cls.functions[name])
+            for name in sorted(cls.functions)
+        }
+        refused += sum(1 for r in verdicts.values() if r is not None)
+        if opts.json:
+            documents.append({
+                "target": label,
+                "class": cls.name,
+                "functions": {
+                    name: {
+                        "eligible": refusal is None,
+                        "refusal": refusal,
+                    }
+                    for name, refusal in verdicts.items()
+                },
+            })
+            continue
+        print(f"-- {label}")
+        for name, refusal in verdicts.items():
+            if refusal is None:
+                print(f"  {name}: eligible")
+            else:
+                print(f"  {name}: refused ({refusal})")
+    if opts.json:
+        print(json.dumps(
+            {"classes": documents, "failures": failures}, indent=2
+        ))
+    else:
+        _print_failures(failures)
+    return _exit_code(_failure_count(failures), refused, opts.strict)
+
+
 def report_main(argv: Optional[List[str]] = None) -> int:
     """``python -m repro.analysis report`` — every certificate, one doc.
 
@@ -635,6 +704,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return inline_main(argv[1:])
     if argv and argv[0] == "flows":
         return flows_main(argv[1:])
+    if argv and argv[0] == "tier":
+        return tier_main(argv[1:])
     if argv and argv[0] == "report":
         return report_main(argv[1:])
 

@@ -21,6 +21,7 @@ from .figures import (
     run_inlining,
     run_parallelism,
     run_table1,
+    run_tiering,
 )
 from .harness import Timer
 from .report import render
@@ -67,7 +68,8 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--figures", type=str, default="table1,4,5,6,7,8",
-        help="comma-separated subset, e.g. '5,8', 'batching', or 'inlining'",
+        help="comma-separated subset, e.g. '5,8', 'batching', 'inlining', "
+        "or 'tiering'",
     )
     parser.add_argument(
         "--batch-size", type=int, default=None,
@@ -110,7 +112,10 @@ def main(argv=None) -> int:
         print(render(run_table1()))
         print()
 
-    numeric = wanted & {"4", "5", "6", "7", "8", "batching", "parallelism", "inlining"}
+    numeric = wanted & {
+        "4", "5", "6", "7", "8", "batching", "parallelism", "inlining",
+        "tiering",
+    }
     if not numeric:
         return 0
 
@@ -167,6 +172,13 @@ def main(argv=None) -> int:
             print()
         if "inlining" in wanted:
             result = run_inlining(workload, timer=timer, **kwargs)
+            print(render(result))
+            print()
+        if "tiering" in wanted:
+            tier_kwargs = {}
+            if args.invocations:
+                tier_kwargs["invocation_counts"] = (args.invocations,)
+            result = run_tiering(workload, timer=timer, **tier_kwargs)
             print(render(result))
             print()
     return 0

@@ -100,9 +100,13 @@ class NativeIntegratedExecutor(UDFExecutor):
             prof.record_error(exc)
             raise
         if args_list:
-            prof.record_invocations(
-                len(args_list), perf_counter_ns() - started
-            )
+            elapsed = perf_counter_ns() - started
+            prof.record_invocations(len(args_list), elapsed)
+            if getattr(self.env, "tiering", False):
+                # Native designs never promote — host code has no
+                # bytecode to specialize — so under tiering they stamp
+                # every batch as tier 0: the benchmark's ~1.00x control.
+                prof.record_tier0_batch(len(args_list), elapsed)
         return results
 
     def end_query(self) -> None:

@@ -60,6 +60,13 @@ from .udf import ServerEnvironment, UDFDefinition, resolve_native_payload
 _HEADER = struct.Struct("<BII")  # msg type, total length, chunk length
 DEFAULT_BUFFER = 256 * 1024
 MAX_BUFFER = 8 * 1024 * 1024
+#: Ceiling for *hint-driven* buffer pre-sizing.  The shm buffer is
+#: allocated once per worker and retained for the whole query, so a
+#: giant batch hint (``db.batch_size = 100_000`` against a ``bytes``
+#: parameter) must not pin ``MAX_BUFFER`` per worker for the duration —
+#: oversized batches chunk through a capped buffer instead.  Callers
+#: passing an explicit ``buffer_size`` still get up to ``MAX_BUFFER``.
+RETAINED_BUFFER_CAP = 1 * 1024 * 1024
 _POLL_INTERVAL = 0.05
 _STARTUP_TIMEOUT = 30.0
 #: Minimum rows per shard before ``invoke_batch`` fans out to another
@@ -75,6 +82,11 @@ MSG_ERROR = 6
 MSG_SHUTDOWN = 7
 MSG_INVOKE_BATCH = 8
 MSG_RESULT_BATCH = 9
+#: Batch result carrying a worker tier snapshot: payload is
+#: ``(results, tier_info)``.  Workers only emit it when the query runs
+#: with tiering enabled, so the seed protocol is byte-identical
+#: otherwise.
+MSG_RESULT_BATCH2 = 10
 
 #: Marshalled-size guesses per SQL parameter type, used to pre-size the
 #: shared buffer so a whole batch usually crosses in one chunk.
@@ -94,7 +106,10 @@ def _estimate_buffer_size(definition: UDFDefinition, batch_hint: int) -> int:
     for param in definition.signature.param_types:
         per_tuple += _PARAM_SIZE_ESTIMATE.get(param, _PARAM_SIZE_DEFAULT)
     need = per_tuple * max(1, batch_hint) + 4096
-    return max(DEFAULT_BUFFER, min(need, MAX_BUFFER))
+    # Cap hint-driven growth: the buffer never shrinks once allocated,
+    # so a huge batch hint would otherwise retain MAX_BUFFER per worker
+    # for the whole query.  Chunking absorbs the overflow.
+    return max(DEFAULT_BUFFER, min(need, RETAINED_BUFFER_CAP))
 
 
 def _dumps(value: object) -> bytes:
@@ -416,6 +431,32 @@ def _split_shards(tuples: tuple, count: int) -> List[tuple]:
     return shards
 
 
+class _RemoteTierMirror:
+    """Aggregated worker tier snapshots, shaped like a ``TierState``.
+
+    The profile's ``tier_summary`` reads ``tier``/``promotions``/
+    ``deopts``/``tier1_batches`` off whatever the executor bound; for
+    isolated designs that is this rollup of the per-worker reports.
+    """
+
+    __slots__ = ("tier", "calls", "promotions", "deopts", "tier1_batches",
+                 "refusal", "demoted")
+
+    def __init__(self, reports):
+        reports = list(reports)
+        self.tier = max((r.get("tier", 0) for r in reports), default=0)
+        self.calls = sum(r.get("calls", 0) for r in reports)
+        self.promotions = sum(r.get("promotions", 0) for r in reports)
+        self.deopts = sum(r.get("deopts", 0) for r in reports)
+        self.tier1_batches = sum(
+            r.get("tier1_batches", 0) for r in reports
+        )
+        self.refusal = next(
+            (r["refusal"] for r in reports if r.get("refusal")), None
+        )
+        self.demoted = any(r.get("demoted") for r in reports)
+
+
 class RemoteExecutor(UDFExecutor):
     """Per-query remote executor pool (Design 2 / Design 4)."""
 
@@ -457,6 +498,11 @@ class RemoteExecutor(UDFExecutor):
                 # ships along so stripping the certificate restores the
                 # defensive-copy baseline end to end.
                 definition.flows is not None,
+                # Tiering rides the same gate: each worker promotes
+                # independently (its own call counts and kernel) and
+                # reports its tier state back with batch results.
+                bool(getattr(env, "tiering", False)),
+                int(getattr(env, "tier1_threshold", 128)),
             )
         else:
             # Validate importability in the server before shipping the
@@ -464,6 +510,10 @@ class RemoteExecutor(UDFExecutor):
             resolve_native_payload(definition.payload)
             worker_payload = ("native", bytes(definition.payload))
         self._reservation = None
+        #: Latest tier snapshot per worker index (tiering only).  Each
+        #: worker is drained by the thread that dispatched to it, so
+        #: per-index access never races.
+        self._tier_reports: dict = {}
         self._pool = WorkerPool(
             definition, env, parallelism, buffer_size, _dumps(worker_payload)
         )
@@ -504,7 +554,46 @@ class RemoteExecutor(UDFExecutor):
         if prof is not None:
             stats["queue_wait_ns"] = prof.queue_wait_ns.summary()
             stats["round_trip_ns"] = prof.round_trip_ns.summary()
+        if self._tier_reports:
+            reports = dict(sorted(self._tier_reports.items()))
+            stats["tier"] = {
+                # Workers promote independently; the rollup reports the
+                # best tier reached and the summed event counters.
+                "tier": max(r.get("tier", 0) for r in reports.values()),
+                "promotions": sum(
+                    r.get("promotions", 0) for r in reports.values()
+                ),
+                "deopts": sum(r.get("deopts", 0) for r in reports.values()),
+                "tier1_batches": sum(
+                    r.get("tier1_batches", 0) for r in reports.values()
+                ),
+                "per_worker": reports,
+            }
         return stats
+
+    def _note_tier_info(self, index: int, info: Optional[dict]) -> None:
+        """Fold one worker's tier snapshot into server-side accounting.
+
+        Snapshots carry worker-lifetime totals; the profile counters get
+        the *delta* against that worker's previous report, so server
+        counts match worker events exactly however batches interleave.
+        """
+        if not info:
+            return
+        previous = self._tier_reports.get(index) or {}
+        self._tier_reports[index] = info
+        prof = self.profile
+        if prof is None:
+            return
+        for key, counter in (
+            ("promotions", prof.promotions),
+            ("deopts", prof.deopts),
+            ("tier1_batches", prof.tier1_batches),
+        ):
+            delta = info.get(key, 0) - previous.get(key, 0)
+            if delta > 0:
+                counter.inc(delta)
+        prof.bind_tier(_RemoteTierMirror(self._tier_reports.values()))
 
     # -- admission ------------------------------------------------------------
 
@@ -590,6 +679,12 @@ class RemoteExecutor(UDFExecutor):
                 return (
                     list(result) if expected == MSG_RESULT_BATCH else result
                 )
+            if (msg_type == MSG_RESULT_BATCH2
+                    and expected == MSG_RESULT_BATCH):
+                # Tiering-enabled worker: results plus its tier snapshot.
+                results, tier_info = _loads(payload)
+                self._note_tier_info(worker.index, tier_info)
+                return list(results)
             if msg_type == MSG_CALLBACK:
                 name, cb_args = _loads(payload)
                 try:
@@ -827,7 +922,9 @@ def _worker_main(array, s2w_ready, s2w_ack, w2s_ready, w2s_ack,
     )
     port = _RemoteCallbackPort(channel)
     try:
-        invoke = _build_worker_invoker(_loads(payload_blob), port)
+        invoke, invoke_batch = _build_worker_invoker(
+            _loads(payload_blob), port
+        )
     except Exception as exc:
         channel.worker_send(MSG_ERROR, _dumps(_shippable(exc)))
         return
@@ -840,13 +937,24 @@ def _worker_main(array, s2w_ready, s2w_ack, w2s_ready, w2s_ack,
             # Batched request: one unmarshal, N invocations, one reply.
             # A failure anywhere aborts the batch with that exception —
             # the same exception the per-tuple loop would have raised
-            # first, so error semantics do not drift.
+            # first, so error semantics do not drift.  A tiering-enabled
+            # worker runs its tiered batch path instead and replies with
+            # results plus its tier snapshot.
             try:
-                results = [invoke(args) for args in _loads(payload)]
+                if invoke_batch is not None:
+                    results, tier_info = invoke_batch(_loads(payload))
+                else:
+                    results = [invoke(args) for args in _loads(payload)]
+                    tier_info = None
             except Exception as exc:
                 channel.worker_send(MSG_ERROR, _dumps(_shippable(exc)))
                 continue
-            channel.worker_send(MSG_RESULT_BATCH, _dumps(results))
+            if tier_info is not None:
+                channel.worker_send(
+                    MSG_RESULT_BATCH2, _dumps((results, tier_info))
+                )
+            else:
+                channel.worker_send(MSG_RESULT_BATCH, _dumps(results))
             continue
         if msg_type != MSG_INVOKE:
             channel.worker_send(
@@ -864,6 +972,13 @@ def _worker_main(array, s2w_ready, s2w_ack, w2s_ready, w2s_ack,
 
 
 def _build_worker_invoker(worker_payload: tuple, port: _RemoteCallbackPort):
+    """Build ``(invoke, invoke_batch)`` for this worker's payload.
+
+    ``invoke`` runs one invocation.  ``invoke_batch`` is ``None`` unless
+    the payload enables tiering, in which case it runs a whole batch
+    through the worker's own tier state machine and returns
+    ``(results, tier_snapshot)``.
+    """
     kind = worker_payload[0]
     if kind == "native":
         func = resolve_native_payload(worker_payload[1])
@@ -875,12 +990,12 @@ def _build_worker_invoker(worker_payload: tuple, port: _RemoteCallbackPort):
         )
         ctx = _WorkerNativeContext(port)
         if takes_ctx:
-            return lambda args: func(ctx, *args)
-        return lambda args: func(*args)
+            return (lambda args: func(ctx, *args)), None
+        return (lambda args: func(*args)), None
 
     if kind == "jaguar":
         (__, class_bytes, entry, callbacks, fuel, memory, use_jit,
-         elide_copies) = worker_payload
+         elide_copies, tiering, tier1_threshold) = worker_payload
         from ..vm.machine import JaguarVM
         from ..vm.security import Permissions
         from .callbacks import standard_callback_signatures
@@ -917,7 +1032,32 @@ def _build_worker_invoker(worker_payload: tuple, port: _RemoteCallbackPort):
             account.reset()
             return invoke_one(args)
 
-        return invoke
+        if not tiering:
+            return invoke, None
+
+        # Worker-side tiering: this process owns its own promotion state
+        # machine — call counts, kernel, deopt tally — and snapshots it
+        # into every batch reply so the server can aggregate.  The deopt
+        # tail uses the raw invoker (``run_tiered_batch`` resets the
+        # account per re-executed row itself).
+        from ..vm.tier import TierState, maybe_promote, run_tiered_batch
+
+        state = TierState(tier1_threshold)
+
+        def invoke_batch(rows):
+            rows = list(rows)
+            state.calls += len(rows)
+            if maybe_promote(
+                state, loaded, entry, context, use_flows=elide_copies
+            ):
+                results, __ = run_tiered_batch(
+                    state, context, rows, invoke_one
+                )
+            else:
+                results = [invoke(args) for args in rows]
+            return results, state.snapshot()
+
+        return invoke, invoke_batch
 
     raise UDFInvocationError(f"unknown worker payload kind {kind!r}")
 

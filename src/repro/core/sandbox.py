@@ -141,6 +141,9 @@ class SandboxExecutor(UDFExecutor):
         self._use_jit = use_jit
         self._context = None
         self._reservation = None
+        # Tier-1 promotion state (lazy; shared executors accumulate call
+        # counts across queries, which is what "hot" means here).
+        self._tier = None
         # Exchange threads each get their own execution context (and
         # resource account): contexts are cheap, and sharing one across
         # threads would interleave fuel accounting mid-invocation.
@@ -311,10 +314,18 @@ class SandboxExecutor(UDFExecutor):
             use_jit=self._use_jit,
             elide_copies=flows is not None,
         )
+        state = None
+        if getattr(self.env, "tiering", False):
+            state = self._tier_state()
+            state.calls += len(args_list)
+            if self._promote(state, context, flows):
+                return self._invoke_batch_tier1(
+                    args_list, context, invoke_one, state
+                )
         prof = self.profile
         if prof is not None:
             return self._invoke_batch_profiled(
-                args_list, account, invoke_one, prof
+                args_list, account, invoke_one, prof, tier_state=state
             )
         fuel_need, mem_need = self._certified_call_bounds()
         arena = flows is not None and flows.arena_safe
@@ -345,7 +356,68 @@ class SandboxExecutor(UDFExecutor):
                 results.append(invoke_one(args))
         return results
 
-    def _invoke_batch_profiled(self, args_list, account, invoke_one, prof):
+    def _tier_state(self):
+        """The executor's promotion state machine (created on demand)."""
+        state = self._tier
+        if state is None:
+            from ..vm.tier import DEFAULT_PROMOTION_CALLS, TierState
+
+            threshold = getattr(
+                self.env, "tier1_threshold", DEFAULT_PROMOTION_CALLS
+            )
+            state = self._tier = TierState(threshold)
+        return state
+
+    def _promote(self, state, context, flows) -> bool:
+        """Promote once hot; ``True`` when the next batch runs tier 1."""
+        from ..vm.tier import maybe_promote
+
+        already = state.kernel is not None
+        promoted = maybe_promote(
+            state,
+            self._loaded,
+            self.definition.entry,
+            context,
+            use_flows=flows is not None,
+        )
+        if promoted and not already and self.profile is not None:
+            self.profile.record_promotion()
+        return promoted
+
+    def _invoke_batch_tier1(self, args_list, context, invoke_one, state):
+        """One batch through the compiled kernel, deopt-safe.
+
+        Mid-batch faults fall back to tier 0 inside
+        :func:`~repro.vm.tier.run_tiered_batch`; a fault the tier-0
+        rerun reproduces propagates from here exactly as the baseline
+        batch loop would have raised it.
+        """
+        from ..vm.tier import run_tiered_batch
+
+        prof = self.profile
+        if prof is None:
+            results, _deopted = run_tiered_batch(
+                state, context, args_list, invoke_one
+            )
+            return results
+        prof.bind_tier(state)
+        started = perf_counter_ns()
+        try:
+            results, deopted = run_tiered_batch(
+                state, context, args_list, invoke_one
+            )
+        except BaseException as exc:
+            prof.record_error(exc)
+            prof.record_tier_batch(len(args_list), 0, deopted=True)
+            raise
+        elapsed = perf_counter_ns() - started
+        if args_list:
+            prof.record_invocations(len(args_list), elapsed)
+            prof.record_tier_batch(len(args_list), elapsed, deopted=deopted)
+        return results
+
+    def _invoke_batch_profiled(self, args_list, account, invoke_one, prof,
+                               tier_state=None):
         """The batch loop with per-call fuel/heap attribution.
 
         Uses the reset-per-call baseline (eliding resets would fold
@@ -359,6 +431,8 @@ class SandboxExecutor(UDFExecutor):
         fuel_used = 0
         heap_used = 0
         results = []
+        if tier_state is not None:
+            prof.bind_tier(tier_state)
         started = perf_counter_ns()
         try:
             for args in args_list:
@@ -373,9 +447,10 @@ class SandboxExecutor(UDFExecutor):
             if args_list:
                 prof.record_resources(fuel_used, heap_used)
         if args_list:
-            prof.record_invocations(
-                len(args_list), perf_counter_ns() - started
-            )
+            elapsed = perf_counter_ns() - started
+            prof.record_invocations(len(args_list), elapsed)
+            if tier_state is not None:
+                prof.record_tier0_batch(len(args_list), elapsed)
         return results
 
     def end_query(self) -> None:

@@ -306,3 +306,9 @@ class ServerEnvironment:
     #: operators at the same width.  1 (the default) reproduces exact
     #: serial semantics — one worker, no Exchange, seed-identical plans.
     parallelism: int = 1
+    #: Tiered execution (``Database(tiering=True)``): hot sandboxed UDFs
+    #: are promoted to type-specialized whole-batch kernels once their
+    #: observed call count crosses ``tier1_threshold``.  Off by default:
+    #: every executor takes its tier-0 (seed) code paths untouched.
+    tiering: bool = False
+    tier1_threshold: int = 128

@@ -69,6 +69,8 @@ class Database:
         metrics: bool = False,
         adaptive: bool = False,
         inlining: bool = False,
+        tiering: bool = False,
+        tier1_threshold: Optional[int] = None,
     ):
         self.path = path
         if path is None:
@@ -97,6 +99,9 @@ class Database:
         )
         self.batch_size = batch_size
         self.parallelism = parallelism
+        self.tiering = tiering
+        if tier1_threshold is not None:
+            self.tier1_threshold = tier1_threshold
         #: Froid-style UDF inlining: when True the optimizer replaces
         #: call sites of decompilable pure UDFs with their lifted SQL
         #: expression (no VM entry at all).  Mutable at runtime
@@ -149,6 +154,38 @@ class Database:
         if value < 1:
             raise ValueError(f"parallelism must be >= 1, got {value}")
         self.environment.parallelism = int(value)
+
+    @property
+    def tiering(self) -> bool:
+        """Tiered UDF execution: promote hot UDFs to batch kernels.
+
+        Mutable at runtime (``db.tiering = True``) — the next batch of
+        invocations counts toward promotion.  Off by default: every
+        executor takes its tier-0 (seed) code paths and plans, results,
+        and benchmarks are reproduced exactly.
+        """
+        return self.environment.tiering
+
+    @tiering.setter
+    def tiering(self, value: bool) -> None:
+        self.environment.tiering = bool(value)
+
+    @property
+    def tier1_threshold(self) -> int:
+        """Observed call count at which a UDF is considered hot.
+
+        0 promotes eligible UDFs on their first batch — useful for
+        tests and benchmarks that want tier-1 behaviour immediately.
+        """
+        return self.environment.tier1_threshold
+
+    @tier1_threshold.setter
+    def tier1_threshold(self, value: int) -> None:
+        if value < 0:
+            raise ValueError(
+                f"tier1_threshold must be >= 0, got {value}"
+            )
+        self.environment.tier1_threshold = int(value)
 
     # -- SQL entry points ------------------------------------------------------
 

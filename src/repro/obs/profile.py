@@ -36,6 +36,8 @@ class UDFProfile:
     __slots__ = ("name", "design", "calls", "batches", "total_ns",
                  "invoke_ns", "batch_rows", "fuel_used", "heap_used",
                  "crashes", "refusals", "queue_wait_ns", "round_trip_ns",
+                 "promotions", "deopts", "tier1_batches",
+                 "tier0_invoke_ns", "tier1_invoke_ns", "tier_state",
                  "_adaptive_entry")
 
     def __init__(
@@ -63,6 +65,20 @@ class UDFProfile:
         #: send-to-result shm round trip, per dispatch.
         self.queue_wait_ns = registry.histogram(f"{prefix}.queue_wait_ns")
         self.round_trip_ns = registry.histogram(f"{prefix}.round_trip_ns")
+        #: Tiered execution (``Database(tiering=True)``).  The event
+        #: counters are keyed per *UDF* (no design segment) — the
+        #: ``db.stats()`` contract is ``udf.<name>.tier1_batches`` and
+        #: ``udf.<name>.deopts`` — while the per-tier latency histograms
+        #: keep the (name, design) prefix like every other timing.
+        self.promotions = registry.counter(f"udf.{name}.promotions")
+        self.deopts = registry.counter(f"udf.{name}.deopts")
+        self.tier1_batches = registry.counter(f"udf.{name}.tier1_batches")
+        self.tier0_invoke_ns = registry.histogram(f"{prefix}.tier0_invoke_ns")
+        self.tier1_invoke_ns = registry.histogram(f"{prefix}.tier1_invoke_ns")
+        #: Live :class:`~repro.vm.tier.TierState` (or a remote mirror)
+        #: bound by the executor, so EXPLAIN ANALYZE renders lifetime
+        #: promotion/deopt numbers, not just this query's deltas.
+        self.tier_state = None
         self._adaptive_entry = (
             adaptive.udf_entry(name) if adaptive is not None else None
         )
@@ -87,6 +103,49 @@ class UDFProfile:
         elif isinstance(exc, ResourceExhausted):
             self.refusals.inc(1)
 
+    # -- tiered execution --------------------------------------------------
+
+    def bind_tier(self, state) -> None:
+        """Attach the executor's live tier state for EXPLAIN rendering."""
+        self.tier_state = state
+
+    def record_promotion(self) -> None:
+        self.promotions.inc(1)
+
+    def record_tier_batch(
+        self, count: int, elapsed_ns: int, deopted: bool
+    ) -> None:
+        """One batch attempted on tier 1 (clean, or deopted mid-batch)."""
+        if deopted:
+            self.deopts.inc(1)
+        else:
+            self.tier1_batches.inc(1)
+            if count and elapsed_ns > 0:
+                self.tier1_invoke_ns.observe(elapsed_ns / count)
+
+    def record_tier0_batch(self, count: int, elapsed_ns: int) -> None:
+        """One batch executed on tier 0 while tiering is enabled."""
+        if count and elapsed_ns > 0:
+            self.tier0_invoke_ns.observe(elapsed_ns / count)
+
+    def tier_summary(self) -> dict:
+        """Tier numbers for EXPLAIN: lifetime state when bound, else
+        this profile's own counters."""
+        state = self.tier_state
+        if state is not None:
+            return {
+                "tier": state.tier,
+                "promotions": state.promotions,
+                "deopts": state.deopts,
+                "tier1_batches": state.tier1_batches,
+            }
+        return {
+            "tier": 0,
+            "promotions": self.promotions.value,
+            "deopts": self.deopts.value,
+            "tier1_batches": self.tier1_batches.value,
+        }
+
     def summary(self) -> dict:
         return {
             "name": self.name,
@@ -102,6 +161,9 @@ class UDFProfile:
             "refusals": self.refusals.value,
             "queue_wait_ns": self.queue_wait_ns.summary(),
             "round_trip_ns": self.round_trip_ns.summary(),
+            "tier0_invoke_ns": self.tier0_invoke_ns.summary(),
+            "tier1_invoke_ns": self.tier1_invoke_ns.summary(),
+            **self.tier_summary(),
         }
 
 

@@ -144,6 +144,19 @@ def udf_profile_lines(profile: Optional[object]) -> List[str]:
                 f" crashes={udf.crashes.value} "
                 f"refusals={udf.refusals.value}"
             )
+        # Tiered execution: which tier this UDF's call sites ran on and
+        # its lifetime promotion/deopt tally.  Only rendered once
+        # tiering has touched the UDF (a bound tier state or tier-0
+        # stamps), so seed ANALYZE output is byte-identical otherwise.
+        if (udf.tier_state is not None
+                or udf.tier0_invoke_ns.count
+                or udf.tier1_invoke_ns.count):
+            tier = udf.tier_summary()
+            line += (
+                f" [tier={tier['tier']}, "
+                f"promotions={tier['promotions']}, "
+                f"deopts={tier['deopts']}]"
+            )
         lines.append(line)
     for name, counter in sorted(
         getattr(profile, "inlined_udfs", {}).items()

@@ -113,11 +113,20 @@ class UDFCallSite:
     case for low-cardinality predicates) then cost one sandbox crossing
     per distinct value instead of one per tuple.  The cache lives and
     dies with the call site, i.e. with one query's compiled expression.
+    The memo is adaptive: once enough probes have gone by without a
+    single hit (a high-cardinality argument column), it is dropped for
+    the rest of the query so distinct-heavy scans stop paying the
+    per-row hashing tax for a cache that never pays off.
     """
 
     __slots__ = (
         "name", "executor", "param_types", "arg_fns", "runtime", "_memo",
+        "_memo_probes", "_memo_hits", "_passthrough",
     )
+
+    #: Probes without a hit before an adaptive memo gives up (2 batches
+    #: at the default batch size of 64).
+    MEMO_PROBE_LIMIT = 128
 
     def __init__(self, name, executor, param_types, arg_fns, runtime):
         self.name = name
@@ -129,6 +138,14 @@ class UDFCallSite:
         pure = bool(definition is not None and
                     getattr(definition, "is_pure", False))
         self._memo: Optional[dict] = {} if pure else None
+        self._memo_probes = 0
+        self._memo_hits = 0
+        # No bytes/handle/float parameter anywhere: a row's raw values
+        # are already in argument form, so batch assembly can skip the
+        # per-row _coerce_args call entirely.
+        self._passthrough = not any(
+            pt in ("bytes", "handle", "float") for pt in param_types
+        )
 
     def __call__(self, row: Sequence[object]) -> object:
         args = []
@@ -185,12 +202,25 @@ class UDFCallSite:
         results: List[object] = [None] * len(rows)
         call_slots: List[int] = []
         call_args: List[List[object]] = []
-        for index in range(len(rows)):
-            raw = [column[index] for column in arg_columns]
-            if any(value is None for value in raw):
-                continue  # strict NULL semantics for UDFs
-            call_slots.append(index)
-            call_args.append(self._coerce_args(raw))
+        passthrough = self._passthrough
+        if len(arg_columns) == 1:
+            # Single-argument fast path: no per-row row assembly.
+            for index, value in enumerate(arg_columns[0]):
+                if value is None:
+                    continue  # strict NULL semantics for UDFs
+                call_slots.append(index)
+                call_args.append(
+                    [value] if passthrough else self._coerce_args([value])
+                )
+        else:
+            for index in range(len(rows)):
+                raw = [column[index] for column in arg_columns]
+                if any(value is None for value in raw):
+                    continue  # strict NULL semantics for UDFs
+                call_slots.append(index)
+                call_args.append(
+                    raw if passthrough else self._coerce_args(raw)
+                )
         memo = self._memo
         key_by_slot: Dict[int, tuple] = {}
         if memo is not None and call_slots:
@@ -203,6 +233,7 @@ class UDFCallSite:
                 try:
                     if key in memo:
                         results[slot] = memo[key]
+                        self._memo_hits += 1
                         continue
                     earlier = first_slot_by_key.get(key)
                 except TypeError:  # unhashable argument (e.g. bytearray)
@@ -211,11 +242,16 @@ class UDFCallSite:
                     continue
                 if earlier is not None:
                     dup_of[slot] = earlier
+                    self._memo_hits += 1
                     continue
                 first_slot_by_key[key] = slot
                 key_by_slot[slot] = key
                 pending_slots.append(slot)
                 pending_args.append(args)
+            self._memo_probes += len(call_slots)
+            if (self._memo_hits == 0
+                    and self._memo_probes >= self.MEMO_PROBE_LIMIT):
+                self._memo = None  # adaptive: cache never pays off here
             call_slots, call_args = pending_slots, pending_args
         else:
             dup_of = {}

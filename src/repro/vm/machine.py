@@ -47,6 +47,7 @@ class LoadedUDF:
         self.use_jit = use_jit
         self.policy = policy
         self._jit = JitCompiler(loader.resolve_class)
+        self._kernels: Dict[str, Callable] = {}
 
     # Kept as properties: a lot of code (and tests) reads the quota off
     # the loaded UDF directly.
@@ -174,6 +175,37 @@ class LoadedUDF:
                 account.exit_call()
 
         return invoke_one
+
+    def make_batch_invoker(self, func_name: str, context: ExecutionContext):
+        """Compile (and cache) the tier-1 whole-batch kernel for an entry.
+
+        The kernel closes over the compiler and natives only — the
+        execution context travels per call — so one compiled kernel
+        serves every context (including Exchange worker threads) for the
+        lifetime of the loaded UDF.  Eligibility is the caller's problem
+        (see :func:`repro.vm.tier.maybe_promote`); ineligible functions
+        raise :class:`repro.vm.kernels.KernelUnsupported`.
+        """
+        kernel = self._kernels.get(func_name)
+        if kernel is not None:
+            return kernel
+        func = self.main_class.functions.get(func_name)
+        if func is None:
+            raise LinkError(
+                f"UDF {self.name!r} has no function {func_name!r}"
+            )
+        if not self.main_class.verified:
+            raise VerifyError(
+                f"refusing to execute unverified class "
+                f"{self.main_class.name!r}"
+            )
+        from .kernels import compile_batch_kernel
+
+        kernel = compile_batch_kernel(
+            self.main_class, func, context, self._jit
+        )
+        self._kernels[func_name] = kernel
+        return kernel
 
 
 class JaguarVM:

@@ -1,0 +1,225 @@
+"""Two-tier execution: promotion, eligibility, and deopt accounting.
+
+Tier 0 is the existing interpreter/JIT path (:mod:`repro.vm.jit`): one
+VM entry per row, per-call quota semantics, dynamic or certified-bound
+metering.  Tier 1 (:mod:`repro.vm.kernels`) is a profile-promoted,
+type-specialized whole-batch kernel: once a UDF's observed call count
+crosses the promotion threshold, its entry function — if *eligible* —
+is compiled into a single closure that runs the whole batch.
+
+Eligibility is static and conservative.  A function is refused tier 1
+(with a structured reason the ``repro.analysis tier`` lint surfaces)
+when:
+
+* it can reach a **callback** (transitively, via the effect summary) —
+  callbacks are interactive server round trips whose ordering the
+  kernel cannot replay after a mid-batch fault;
+* its effect summary records **untyped/unknown operations** — the type
+  guards would have nothing sound to specialize on;
+* it contains **trap sites without a flow certificate** — traps deopt
+  fine, but without the certificate there is no static account of
+  where, so promotion stays conservative;
+* the certifier proved **no constant fuel bound** — per-row prepayment
+  needs a constant worst case;
+* it takes a **mutable array parameter** (a byte/float array not proven
+  read-only) — a partially executed row could leave caller-visible
+  mutations a tier-0 rerun would not reproduce.
+
+Everything dynamic — a type-guard failure, a trap, a quota edge the
+refill check cannot cover, a revoked account — **deopts**: the kernel
+aborts, and :func:`run_tiered_batch` re-executes the faulting row and
+the remainder of the batch on tier 0 with reset-per-call quota
+semantics.  Completed rows keep their kernel results (the kernel only
+appends a result after a row fully finishes), so the observable outcome
+is bit-identical to never having promoted.  A function that deopts
+:data:`DEMOTION_DEOPTS` times is demoted for good — a deopt storm means
+the static picture and the data disagree, and tier 0 is cheaper than
+compile-run-abort cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import VMError
+from .classfile import FunctionDef
+from .kernels import KernelDeopt, KernelUnsupported
+from .opcodes import Op
+from .values import VMType
+
+#: Calls observed before a UDF is considered hot (promotion attempt).
+DEFAULT_PROMOTION_CALLS = 128
+
+#: Deopts tolerated before a promoted UDF is demoted back to tier 0.
+DEMOTION_DEOPTS = 8
+
+#: Structured refusal reasons (stable strings: the lint CLI prints and
+#: JSON-encodes them, tests match on them).
+REFUSE_CALLBACK = "callback"
+REFUSE_UNTYPED = "untyped-op"
+REFUSE_TRAP = "trap-without-certificate"
+REFUSE_UNBOUNDED = "unbounded-fuel"
+REFUSE_MUTABLE_ARRAY = "mutable-array-param"
+
+#: Opcodes that can fault at run time (the paper's "price paid for
+#: security": bounds checks, checked division, float-to-int).  Without a
+#: flow certificate naming the trap sites, their presence refuses
+#: promotion.
+_TRAP_OPS = frozenset((
+    Op.IDIV, Op.IMOD, Op.FDIV, Op.F2I,
+    Op.ALOAD, Op.ASTORE, Op.FALOAD, Op.FASTORE,
+    Op.SINDEX, Op.SSUB, Op.NEWARR, Op.NEWFARR,
+))
+
+
+def kernel_eligibility(
+    func: Optional[FunctionDef], use_flows: bool = True
+) -> Optional[str]:
+    """``None`` when ``func`` may be promoted, else the refusal reason.
+
+    ``use_flows`` mirrors the executors' ``definition.flows`` gate:
+    with flow fast paths disabled the flow certificate must not widen
+    eligibility either, so stripping certificates degrades tier 1 the
+    same way it degrades copy elision.
+    """
+    if func is None:
+        return REFUSE_UNTYPED
+    summary = getattr(func, "summary", None)
+    if summary is None:
+        return REFUSE_UNTYPED
+    if summary.callbacks:
+        return REFUSE_CALLBACK
+    if summary.unknown_effects:
+        return REFUSE_UNTYPED
+    cert = getattr(func, "certificate", None)
+    if cert is None:
+        return REFUSE_UNBOUNDED
+    from ..analysis.bounds import constant_bound
+
+    if (constant_bound(cert.fuel_bound) is None
+            or constant_bound(cert.local_fuel_bound) is None):
+        return REFUSE_UNBOUNDED
+    flows = getattr(func, "flows", None) if use_flows else None
+    if flows is None and any(ins.op in _TRAP_OPS for ins in func.code):
+        return REFUSE_TRAP
+    readonly = frozenset(flows.readonly_params) if flows is not None else ()
+    for index, vm_type in enumerate(func.param_types):
+        if vm_type is VMType.FARR:
+            return REFUSE_MUTABLE_ARRAY
+        if vm_type is VMType.ARR and index not in readonly:
+            return REFUSE_MUTABLE_ARRAY
+    return None
+
+
+class TierState:
+    """Per-(UDF, executor) promotion/deopt state machine.
+
+    States: **cold** (counting calls) → **promoted** (kernel compiled)
+    → **demoted** (deopt storm) — or **refused** (static eligibility
+    said no; remembered so the check runs once).  Isolated workers each
+    own one independently; the server aggregates their snapshots.
+    """
+
+    __slots__ = (
+        "threshold", "calls", "promotions", "deopts", "tier1_batches",
+        "kernel", "refusal", "demoted",
+    )
+
+    def __init__(self, threshold: int = DEFAULT_PROMOTION_CALLS):
+        self.threshold = max(0, int(threshold))
+        self.calls = 0
+        self.promotions = 0
+        self.deopts = 0
+        self.tier1_batches = 0
+        self.kernel = None
+        self.refusal: Optional[str] = None
+        self.demoted = False
+
+    @property
+    def tier(self) -> int:
+        """The tier the next batch will execute on."""
+        return 1 if self.kernel is not None and not self.demoted else 0
+
+    @property
+    def hot(self) -> bool:
+        return self.calls >= self.threshold
+
+    def note_deopt(self) -> None:
+        self.deopts += 1
+        if self.deopts >= DEMOTION_DEOPTS:
+            self.demoted = True
+
+    def snapshot(self) -> dict:
+        return {
+            "tier": self.tier,
+            "calls": self.calls,
+            "promotions": self.promotions,
+            "deopts": self.deopts,
+            "tier1_batches": self.tier1_batches,
+            "refusal": self.refusal,
+            "demoted": self.demoted,
+        }
+
+
+def maybe_promote(
+    state: TierState,
+    loaded,
+    func_name: str,
+    context,
+    use_flows: bool = True,
+) -> bool:
+    """Attempt promotion once the call count crosses the threshold.
+
+    Runs the static eligibility check at most once (the refusal is
+    remembered), compiles the kernel on success, and returns whether the
+    state is promoted after the attempt.
+    """
+    if state.kernel is not None:
+        return not state.demoted
+    if state.refusal is not None or state.demoted or not state.hot:
+        return False
+    func = loaded.main_class.functions.get(func_name)
+    refusal = kernel_eligibility(func, use_flows=use_flows)
+    if refusal is not None:
+        state.refusal = refusal
+        return False
+    try:
+        state.kernel = loaded.make_batch_invoker(func_name, context)
+    except (KernelUnsupported, VMError) as exc:
+        state.refusal = f"{REFUSE_UNTYPED}: {exc}"
+        return False
+    state.promotions += 1
+    return True
+
+
+def run_tiered_batch(state: TierState, context, rows, invoke_one):
+    """Run one batch on tier 1, deopting mid-batch to tier 0 on a fault.
+
+    Returns ``(results, deopted)``.  The kernel appends one result per
+    *completed* row, so after a fault the tier-0 tail resumes at
+    ``len(results)`` — the faulting row re-executes from scratch on a
+    freshly reset account and either succeeds or raises exactly the
+    error the baseline would have raised.
+    """
+    account = context.account
+    results: list = []
+    deopted = False
+    try:
+        account.enter_call()
+    except VMError:
+        deopted = True
+    else:
+        try:
+            state.kernel(rows, context, results)
+        except (KernelDeopt, VMError):
+            deopted = True
+        finally:
+            account.exit_call()
+    if not deopted:
+        state.tier1_batches += 1
+        return results, False
+    state.note_deopt()
+    for args in rows[len(results):]:
+        account.reset()  # tier-0 baseline: the quota is per invocation
+        results.append(invoke_one(args))
+    return results, True

@@ -1,0 +1,200 @@
+"""Tiering parity: tier-1 kernels must never change query results.
+
+Tiered execution is only ever an optimization: with ``tiering=True``
+and an aggressive threshold (0, so every eligible UDF promotes on its
+first batch), every query result must stay bit-identical to the seed
+tier-0 run across all six designs, batch sizes 1 and 64, and
+parallelism 1 and 2.  That includes error semantics — a UDF that traps
+mid-batch deopts and re-raises exactly what tier 0 would have raised —
+and the default: ``Database()`` without ``tiering`` runs the seed code
+paths untouched.
+"""
+
+import pytest
+
+from repro.core.designs import Design
+from repro.database import Database
+from repro.errors import ArithmeticFault
+
+BATCH_SIZES = (1, 64)
+PARALLELISM_LEVELS = (1, 2)
+
+
+# -- native payloads (module-level so worker processes can import them) -------
+
+def triple_native(x):
+    return x * 3 + 1
+
+
+def clip_native(x):
+    return x if x < 50 else 50
+
+
+# -- fixtures -----------------------------------------------------------------
+
+SETUP = """
+CREATE TABLE stocks (id INT, price INT, type TEXT);
+INSERT INTO stocks VALUES (1, 10, 'tech');
+INSERT INTO stocks VALUES (2, NULL, 'oil');
+INSERT INTO stocks VALUES (3, 10, 'tech');
+INSERT INTO stocks VALUES (4, -5, NULL);
+INSERT INTO stocks VALUES (5, 7, 'oil');
+INSERT INTO stocks VALUES (6, 10, 'gas');
+INSERT INTO stocks VALUES (7, NULL, 'tech');
+INSERT INTO stocks VALUES (8, 7, 'gas');
+INSERT INTO stocks VALUES (9, 0, 'oil');
+INSERT INTO stocks VALUES (10, 3, 'tech');
+"""
+
+#: ``arith`` is the prime tier-1 target: pure, typed, constant-bound
+#: arithmetic.  ``clip`` is branchy (both kernel block forms).  The
+#: native designs run host payloads — never promoted, the control.
+JAGUAR_ARITH = "def arith(x: int) -> int:\n    return x * 3 + 1\n"
+JAGUAR_CLIP = (
+    "def clip(x: int) -> int:\n"
+    "    if x < 50:\n"
+    "        return x\n"
+    "    return 50\n"
+)
+#: Traps when ``x == 4`` (the only row where ``price`` is negative):
+#: a forced mid-batch deopt whose tier-0 rerun re-raises the fault.
+JAGUAR_TRAPPY = (
+    "def trappy(x: int) -> int:\n"
+    "    return 100 // (x + 5)\n"
+)
+
+DESIGN_SQL = {
+    Design.NATIVE_INTEGRATED: "INTEGRATED",
+    Design.NATIVE_SFI: "SFI",
+    Design.NATIVE_ISOLATED: "ISOLATED",
+    Design.SANDBOX_JIT: "SANDBOX",
+    Design.SANDBOX_INTERP: "SANDBOX_INTERP",
+    Design.SANDBOX_ISOLATED: "SANDBOX_ISOLATED",
+}
+
+NATIVE = (
+    Design.NATIVE_INTEGRATED, Design.NATIVE_SFI, Design.NATIVE_ISOLATED,
+)
+
+QUERIES = [
+    "SELECT id, arith(id) FROM stocks ORDER BY id",
+    "SELECT id FROM stocks WHERE arith(id) > 12 AND type <> 'gas' "
+    "ORDER BY id",
+    "SELECT type, count(*), sum(arith(price)) FROM stocks "
+    "GROUP BY type ORDER BY type",
+    "SELECT id, clip(arith(id)) FROM stocks ORDER BY id",
+]
+
+#: Isolated designs spawn worker processes per UDF query, so the matrix
+#: runs a representative subset for them.
+ISOLATED_QUERIES = [QUERIES[0], QUERIES[3]]
+
+IN_PROCESS = (
+    Design.NATIVE_INTEGRATED,
+    Design.NATIVE_SFI,
+    Design.SANDBOX_JIT,
+    Design.SANDBOX_INTERP,
+)
+ISOLATED = (Design.NATIVE_ISOLATED, Design.SANDBOX_ISOLATED)
+
+
+def _fresh_db(design, tiering):
+    db = Database(tiering=tiering, tier1_threshold=0)
+    for statement in SETUP.strip().split(";"):
+        if statement.strip():
+            db.execute(statement)
+    sql = DESIGN_SQL[design]
+    if design in NATIVE:
+        db.execute(
+            f"CREATE FUNCTION arith(int) RETURNS int LANGUAGE NATIVE "
+            f"DESIGN {sql} AS "
+            f"'tests.sql.test_tier_parity:triple_native'"
+        )
+        db.execute(
+            f"CREATE FUNCTION clip(int) RETURNS int LANGUAGE NATIVE "
+            f"DESIGN {sql} AS 'tests.sql.test_tier_parity:clip_native'"
+        )
+    else:
+        db.execute(
+            f"CREATE FUNCTION arith(int) RETURNS int LANGUAGE JAGUAR "
+            f"DESIGN {sql} AS '{JAGUAR_ARITH}'"
+        )
+        db.execute(
+            f"CREATE FUNCTION clip(int) RETURNS int LANGUAGE JAGUAR "
+            f"DESIGN {sql} AS '{JAGUAR_CLIP}'"
+        )
+    return db
+
+
+def _snapshot(db, queries):
+    rows = {}
+    for batch_size in BATCH_SIZES:
+        for level in PARALLELISM_LEVELS:
+            db.batch_size = batch_size
+            db.parallelism = level
+            for sql in queries:
+                rows[(sql, batch_size, level)] = db.query(sql)
+    return rows
+
+
+class TestTierParity:
+    @pytest.mark.parametrize("design", IN_PROCESS)
+    def test_in_process_designs(self, design):
+        with _fresh_db(design, tiering=False) as db:
+            baseline = _snapshot(db, QUERIES)
+        with _fresh_db(design, tiering=True) as db:
+            # Warm across the matrix twice: the first pass promotes,
+            # the second runs fully tier 1.  Both must match tier 0.
+            first = _snapshot(db, QUERIES)
+            second = _snapshot(db, QUERIES)
+        assert first == baseline
+        assert second == baseline
+
+    @pytest.mark.parametrize("design", ISOLATED)
+    def test_isolated_designs(self, design):
+        with _fresh_db(design, tiering=False) as db:
+            baseline = _snapshot(db, ISOLATED_QUERIES)
+        with _fresh_db(design, tiering=True) as db:
+            assert _snapshot(db, ISOLATED_QUERIES) == baseline
+
+    @pytest.mark.parametrize(
+        "design", (Design.SANDBOX_JIT, Design.SANDBOX_INTERP)
+    )
+    def test_forced_mid_batch_deopt_error_parity(self, design):
+        # Row id=4 has price=-5: trappy(-5) divides by zero mid-batch.
+        # The kernel deopts, the tier-0 rerun re-raises the same fault
+        # the untried baseline raises.
+        sql = DESIGN_SQL[design]
+        query = "SELECT trappy(price) FROM stocks WHERE price IS NOT NULL"
+
+        def outcome(tiering):
+            with Database(tiering=tiering, tier1_threshold=0) as db:
+                for statement in SETUP.strip().split(";"):
+                    if statement.strip():
+                        db.execute(statement)
+                db.execute(
+                    f"CREATE FUNCTION trappy(int) RETURNS int "
+                    f"LANGUAGE JAGUAR DESIGN {sql} AS '{JAGUAR_TRAPPY}'"
+                )
+                with pytest.raises(ArithmeticFault) as exc:
+                    db.query(query)
+                return str(exc.value)
+
+        assert outcome(True) == outcome(False)
+
+    def test_tiering_actually_promoted(self):
+        # Guard against the parity suite silently testing tier 0 twice.
+        with _fresh_db(Design.SANDBOX_JIT, tiering=True) as db:
+            _snapshot(db, QUERIES)
+            executor = db.registry.executor_for_query("arith")
+            assert executor._tier is not None
+            assert executor._tier.promotions == 1
+            assert executor._tier.tier1_batches > 0
+
+    def test_default_is_off(self):
+        with Database() as db:
+            assert db.tiering is False
+        with _fresh_db(Design.SANDBOX_JIT, tiering=False) as db:
+            _snapshot(db, QUERIES)
+            executor = db.registry.executor_for_query("arith")
+            assert executor._tier is None  # tier machinery never touched

@@ -1,0 +1,374 @@
+"""Tiered execution: eligibility, kernel correctness, and deopt paths.
+
+Tier 1 is only ever an optimization: every batch must produce exactly
+what the tier-0 loop would have produced, including when the kernel
+bails out mid-batch (type-guard failure, quota edge) and the remainder
+re-runs on tier 0.  These tests drive the executors directly so they
+can force each deopt path and inspect the promotion state machine.
+"""
+
+import pytest
+
+from repro.analysis.bounds import certify_class, constant_bound
+from repro.analysis.effects import analyze_class
+from repro.analysis.flows import analyze_flows
+from repro.core.callbacks import standard_callback_signatures
+from repro.core.isolated import (
+    DEFAULT_BUFFER,
+    MAX_BUFFER,
+    RETAINED_BUFFER_CAP,
+    _estimate_buffer_size,
+)
+from repro.core.udf import UDFDefinition, UDFSignature
+from repro.core.designs import Design
+from repro.database import Database
+from repro.errors import FuelExhausted
+from repro.vm.compiler import compile_source
+from repro.vm.tier import (
+    DEMOTION_DEOPTS,
+    REFUSE_CALLBACK,
+    REFUSE_MUTABLE_ARRAY,
+    REFUSE_TRAP,
+    REFUSE_UNBOUNDED,
+    TierState,
+    kernel_eligibility,
+)
+from repro.vm.values import INT_MAX
+from repro.vm.verifier import self_resolver, verify_class
+
+ARITH = "def arith(x: int) -> int:\n    return x * 3 + 1\n"
+CHATTY = (
+    "def chatty(x: int) -> int:\n"
+    "    cb_noop()\n"
+    "    return x + 1\n"
+)
+LOOPER = (
+    "def looper(n: int) -> int:\n"
+    "    total = 0\n"
+    "    i = 0\n"
+    "    while i < n:\n"
+    "        total = total + i\n"
+    "        i = i + 1\n"
+    "    return total\n"
+)
+BLEN = "def blen(data: bytes) -> int:\n    return len(data)\n"
+WRITER = (
+    "def writer(data: bytes) -> int:\n"
+    "    data[0] = 1\n"
+    "    return 0\n"
+)
+DIVIDER = "def divider(x: int) -> int:\n    return 100 // x\n"
+#: Cheap common path, expensive certified worst case: a fuel quota
+#: between the two admits at load, completes on tier 0, and is short of
+#: the kernel's per-row prepayment — the quota-edge deopt.
+BRANCHY = (
+    "def branchy(x: int) -> int:\n"
+    "    if x < 0:\n"
+    "        y = x * 3\n"
+    "        y = y * 5 + 1\n"
+    "        y = y * 7 + 2\n"
+    "        y = y * 11 + 3\n"
+    "        y = y * 13 + 4\n"
+    "        y = y * 17 + 5\n"
+    "        y = y * 19 + 6\n"
+    "        y = y * 23 + 7\n"
+    "        return y\n"
+    "    return x + 1\n"
+)
+
+
+def _analyzed(source, name="Tier"):
+    callbacks = dict(standard_callback_signatures())
+    cls = compile_source(source, name, callbacks=callbacks)
+    verify_class(cls, self_resolver(cls, callbacks=callbacks))
+    analyze_class(cls)
+    certify_class(cls)
+    analyze_flows(cls, resolver=self_resolver(cls, callbacks=callbacks))
+    return cls
+
+
+def _func(source):
+    cls = _analyzed(source)
+    (func,) = cls.functions.values()
+    return func
+
+
+class TestEligibility:
+    def test_pure_arithmetic_is_eligible(self):
+        assert kernel_eligibility(_func(ARITH)) is None
+
+    def test_callback_refused(self):
+        assert kernel_eligibility(_func(CHATTY)) == REFUSE_CALLBACK
+
+    def test_unbounded_loop_refused(self):
+        assert kernel_eligibility(_func(LOOPER)) == REFUSE_UNBOUNDED
+
+    def test_readonly_bytes_param_is_eligible(self):
+        assert kernel_eligibility(_func(BLEN)) is None
+
+    def test_written_bytes_param_refused(self):
+        assert kernel_eligibility(_func(WRITER)) == REFUSE_MUTABLE_ARRAY
+
+    def test_traps_need_a_flow_certificate(self):
+        func = _func(DIVIDER)
+        assert kernel_eligibility(func) is None
+        assert kernel_eligibility(func, use_flows=False) == REFUSE_TRAP
+
+    def test_stripping_flows_degrades_array_params_too(self):
+        func = _func(BLEN)
+        assert (
+            kernel_eligibility(func, use_flows=False)
+            == REFUSE_MUTABLE_ARRAY
+        )
+
+    def test_missing_function_refused(self):
+        assert kernel_eligibility(None) is not None
+
+
+def _sandbox_executor(db, source, name, signature="int", fuel=None,
+                      callbacks=None):
+    fuel_clause = f"FUEL {fuel} " if fuel else ""
+    cb_clause = f"CALLBACKS '{callbacks}' " if callbacks else ""
+    db.execute(
+        f"CREATE FUNCTION {name}({signature}) RETURNS int LANGUAGE JAGUAR "
+        f"DESIGN SANDBOX {cb_clause}{fuel_clause}AS '{source}'"
+    )
+    executor = db.registry.executor_for_query(name)
+    executor.begin_query()
+    return executor
+
+
+class TestKernelExecution:
+    def test_batch_results_match_tier0(self):
+        batch = [(value,) for value in range(-40, 40)]
+        with Database(tiering=False) as db:
+            executor = _sandbox_executor(db, ARITH, "arith")
+            baseline = executor.invoke_batch(batch)
+            executor.end_query()
+        with Database(tiering=True, tier1_threshold=0) as db:
+            executor = _sandbox_executor(db, ARITH, "arith")
+            assert executor.invoke_batch(batch) == baseline
+            state = executor._tier
+            assert state is not None and state.tier == 1
+            assert state.promotions == 1
+            assert state.deopts == 0
+            executor.end_query()
+
+    def test_kernel_is_compiled_once(self):
+        with Database(tiering=True, tier1_threshold=0) as db:
+            executor = _sandbox_executor(db, ARITH, "arith")
+            executor.invoke_batch([(1,), (2,)])
+            kernel = executor._tier.kernel
+            executor.invoke_batch([(3,), (4,)])
+            assert executor._tier.kernel is kernel
+            executor.end_query()
+
+    def test_promotion_waits_for_threshold(self):
+        with Database(tiering=True, tier1_threshold=100) as db:
+            executor = _sandbox_executor(db, ARITH, "arith")
+            executor.invoke_batch([(value,) for value in range(64)])
+            assert executor._tier.tier == 0
+            executor.invoke_batch([(value,) for value in range(64)])
+            assert executor._tier.tier == 1
+            executor.end_query()
+
+
+class TestDeoptPaths:
+    def test_guard_failure_mid_batch_deopts(self):
+        # INT_MAX + 1 fails the kernel's exact-range guard; tier 0
+        # wraps it (coerce_argument semantics), so the batch still
+        # completes — with results identical to never promoting.
+        batch = [(7,), (INT_MAX + 1,), (9,)]
+        with Database(tiering=False) as db:
+            executor = _sandbox_executor(db, ARITH, "arith")
+            baseline = executor.invoke_batch(batch)
+            executor.end_query()
+        with Database(tiering=True, tier1_threshold=0) as db:
+            executor = _sandbox_executor(db, ARITH, "arith")
+            assert executor.invoke_batch(batch) == baseline
+            state = executor._tier
+            assert state.deopts == 1
+            assert not state.demoted
+            executor.end_query()
+
+    def test_quota_edge_inside_kernel_deopts(self):
+        # Certify the worst case, then run with a quota below it: the
+        # kernel cannot prepay a row and deopts; tier 0's dynamic meter
+        # covers the cheap actual path and completes.
+        bound = constant_bound(
+            _func(BRANCHY).certificate.fuel_bound
+        )
+        assert bound is not None and bound > 8
+        batch = [(value,) for value in range(16)]
+        with Database(tiering=False) as db:
+            executor = _sandbox_executor(
+                db, BRANCHY, "branchy", fuel=bound - 1
+            )
+            baseline = executor.invoke_batch(batch)
+            executor.end_query()
+        with Database(tiering=True, tier1_threshold=0) as db:
+            executor = _sandbox_executor(
+                db, BRANCHY, "branchy", fuel=bound - 1
+            )
+            assert executor.invoke_batch(batch) == baseline
+            assert executor._tier.deopts == 1
+            executor.end_query()
+
+    def test_true_exhaustion_raises_like_tier0(self):
+        # A row that genuinely cannot finish within quota fails with
+        # the same error whether or not the kernel ran first.
+        bound = constant_bound(_func(BRANCHY).certificate.fuel_bound)
+        fuel = bound // 2  # above the cheap path, below the expensive one
+        batch = [(1,), (-5,), (2,)]  # -5 takes the expensive path
+        with Database(tiering=True, tier1_threshold=0) as db:
+            executor = _sandbox_executor(db, BRANCHY, "branchy", fuel=fuel)
+            with pytest.raises(FuelExhausted):
+                executor.invoke_batch(batch)
+            executor.end_query()
+        with Database(tiering=False) as db:
+            executor = _sandbox_executor(db, BRANCHY, "branchy", fuel=fuel)
+            with pytest.raises(FuelExhausted):
+                executor.invoke_batch(batch)
+            executor.end_query()
+
+    def test_callback_udf_is_never_promoted(self):
+        with Database(tiering=True, tier1_threshold=0) as db:
+            executor = _sandbox_executor(
+                db, CHATTY, "chatty", callbacks="cb_noop"
+            )
+            for _ in range(5):
+                executor.invoke_batch([(value,) for value in range(32)])
+            state = executor._tier
+            assert state.tier == 0
+            assert state.promotions == 0
+            assert state.refusal == REFUSE_CALLBACK
+            executor.end_query()
+
+    def test_deopt_storm_demotes(self):
+        poison = [(INT_MAX + 1,)]
+        with Database(tiering=True, tier1_threshold=0) as db:
+            executor = _sandbox_executor(db, ARITH, "arith")
+            for _ in range(DEMOTION_DEOPTS):
+                executor.invoke_batch(poison)
+            state = executor._tier
+            assert state.demoted
+            assert state.tier == 0
+            # Demoted executors still answer correctly on tier 0.
+            assert executor.invoke_batch([(3,)]) == [10]
+            assert state.deopts == DEMOTION_DEOPTS
+            executor.end_query()
+
+
+class TestTierStateMachine:
+    def test_snapshot_round_trip(self):
+        state = TierState(threshold=5)
+        state.calls = 7
+        snapshot = state.snapshot()
+        assert snapshot["tier"] == 0
+        assert snapshot["calls"] == 7
+        assert snapshot["refusal"] is None
+        assert not snapshot["demoted"]
+
+    def test_threshold_zero_is_immediately_hot(self):
+        assert TierState(threshold=0).hot
+        assert not TierState(threshold=1).hot
+
+
+class TestIsolatedTiering:
+    def test_isolated_workers_promote_and_report(self):
+        with Database(tiering=True, tier1_threshold=0) as db:
+            db.execute(
+                "CREATE FUNCTION arith(int) RETURNS int LANGUAGE JAGUAR "
+                f"DESIGN SANDBOX_ISOLATED AS '{ARITH}'"
+            )
+            executor = db.registry.executor_for_query("arith")
+            executor.begin_query()
+            batch = [(value,) for value in range(64)]
+            expected = [value * 3 + 1 for value in range(64)]
+            assert executor.invoke_batch(batch) == expected
+            stats = executor.channel_stats()
+            assert stats["tier"]["tier"] == 1
+            assert stats["tier"]["promotions"] == 1
+            assert stats["tier"]["tier1_batches"] == 1
+            executor.end_query()
+            executor.close()
+
+    def test_isolated_counters_reach_db_stats(self):
+        with Database(
+            tiering=True, tier1_threshold=0, metrics=True
+        ) as db:
+            db.execute("CREATE TABLE t (id INT)")
+            db.insert_rows("t", [(value,) for value in range(64)])
+            db.execute(
+                "CREATE FUNCTION arith(int) RETURNS int LANGUAGE JAGUAR "
+                f"DESIGN SANDBOX_ISOLATED AS '{ARITH}'"
+            )
+            rows = db.query("SELECT arith(id) FROM t")
+            assert rows == [(value * 3 + 1,) for value in range(64)]
+            counters = db.stats()["metrics"]["counters"]
+            assert counters["udf.arith.promotions"] == 1
+            assert counters["udf.arith.tier1_batches"] >= 1
+
+    def test_isolated_without_tiering_keeps_seed_protocol(self):
+        with Database(tiering=False) as db:
+            db.execute(
+                "CREATE FUNCTION arith(int) RETURNS int LANGUAGE JAGUAR "
+                f"DESIGN SANDBOX_ISOLATED AS '{ARITH}'"
+            )
+            executor = db.registry.executor_for_query("arith")
+            executor.begin_query()
+            assert executor.invoke_batch([(2,)]) == [7]
+            assert "tier" not in executor.channel_stats()
+            executor.end_query()
+            executor.close()
+
+
+class TestRetainedBufferCap:
+    """Regression: batch hints must not pin huge shm buffers."""
+
+    def _definition(self, param="bytes"):
+        return UDFDefinition(
+            name="blob_udf",
+            signature=UDFSignature((param,), "int"),
+            design=Design.NATIVE_ISOLATED,
+            payload=b"mod:func",
+            entry="func",
+        )
+
+    def test_small_hint_gets_default_buffer(self):
+        assert (
+            _estimate_buffer_size(self._definition("int"), 64)
+            == DEFAULT_BUFFER
+        )
+
+    def test_giant_hint_is_capped(self):
+        size = _estimate_buffer_size(self._definition("bytes"), 100_000)
+        assert size == RETAINED_BUFFER_CAP
+        assert size < MAX_BUFFER
+
+    def test_cap_ordering(self):
+        assert DEFAULT_BUFFER <= RETAINED_BUFFER_CAP <= MAX_BUFFER
+
+    def test_oversized_batches_still_flow_through_capped_buffer(self):
+        # A payload bigger than the capped buffer must chunk, not fail:
+        # end-to-end with a batch whose pickled size exceeds the hint
+        # estimate's cap.
+        with Database() as db:
+            db.batch_size = 100_000  # giant hint at executor build time
+            db.execute(
+                "CREATE FUNCTION blen(bytes) RETURNS int LANGUAGE JAGUAR "
+                f"DESIGN SANDBOX_ISOLATED AS '{BLEN}'"
+            )
+            executor = db.registry.executor_for_query("blen")
+            executor.begin_query()
+            try:
+                payload = bytes(2 * 1024 * 1024)  # 2 MiB > 1 MiB cap
+                assert executor.invoke_batch([(payload,)]) == [
+                    len(payload)
+                ]
+                stats = executor.channel_stats()
+                assert stats["buffer_size"] <= RETAINED_BUFFER_CAP
+                assert stats["chunks_sent"] > stats["messages_sent"]
+            finally:
+                executor.end_query()
+                executor.close()

@@ -20,6 +20,7 @@ from .figures import (
     run_fig8,
     run_inlining,
     run_parallelism,
+    run_server,
     run_table1,
     run_tiering,
 )
@@ -69,7 +70,7 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--figures", type=str, default="table1,4,5,6,7,8",
         help="comma-separated subset, e.g. '5,8', 'batching', 'inlining', "
-        "or 'tiering'",
+        "'tiering', or 'server'",
     )
     parser.add_argument(
         "--batch-size", type=int, default=None,
@@ -110,6 +111,13 @@ def main(argv=None) -> int:
 
     if "table1" in wanted:
         print(render(run_table1()))
+        print()
+
+    if "server" in wanted:
+        # The concurrent-server sweep builds its own database and TCP
+        # server rather than using the per-design workload below.
+        result = run_server(cardinality=args.cardinality)
+        print(render(result))
         print()
 
     numeric = wanted & {

@@ -604,3 +604,162 @@ def run_fig8(
             )
             result.add_point(label, callbacks, cost)
     return result
+
+
+DEFAULT_CLIENT_SWEEP = (1, 2, 4, 8)
+
+
+def _percentile(samples: Sequence[float], q: float) -> float:
+    ordered = sorted(samples)
+    index = int(round(q * (len(ordered) - 1)))
+    return ordered[index]
+
+
+def run_server(
+    cardinality: int = 2000,
+    client_counts: Sequence[int] = DEFAULT_CLIENT_SWEEP,
+    statements_per_client: int = 60,
+    concurrency: int = 8,
+    scan_limit: int = 256,
+) -> ExperimentResult:
+    """Concurrent-server sweep: wire throughput vs number of clients.
+
+    A read-heavy UDF workload (one sandboxed arithmetic UDF over the
+    first ``scan_limit`` rows of a ``cardinality``-row table) is issued
+    over real TCP connections against one
+    :class:`~repro.server.aserver.AsyncDatabaseServer`.  For each client
+    count, every client runs ``statements_per_client`` statements on its
+    own thread and connection; the series record whole-sweep throughput
+    (statements/second) and client-observed latency percentiles.
+
+    Since every client issues the same SQL text, the sweep also
+    exercises the shared plan cache; ``meta["plan_cache_latency"]``
+    isolates that effect directly — the server-side latency of the same
+    planning-heavy statement with the cache defeated (cleared before
+    every execution) vs hitting, medians over repeated runs.
+
+    ``meta["cpu_count"]`` matters: on a single-core host concurrent
+    clients time-slice one core, so throughput *cannot* scale and the
+    sweep measures multiplexing overhead instead of speedup.
+    """
+    import os
+    import threading
+    from statistics import median
+    from time import perf_counter
+
+    from ..database import Database
+    from ..server.aserver import AsyncDatabaseServer
+    from ..server.client import Client
+
+    result = ExperimentResult(
+        experiment="server",
+        title="Concurrent server: clients vs wire throughput",
+        x_label="Clients",
+        meta={
+            "cardinality": cardinality,
+            "statements_per_client": statements_per_client,
+            "concurrency": concurrency,
+            "scan_limit": scan_limit,
+            "cpu_count": os.cpu_count(),
+        },
+    )
+
+    db = Database()
+    db.execute("CREATE TABLE metrics (id INT, v INT)")
+    db.insert_rows(
+        "metrics", [(i, i % 97) for i in range(cardinality)]
+    )
+    db.execute(
+        "CREATE FUNCTION arith(int) RETURNS int LANGUAGE JAGUAR "
+        "DESIGN SANDBOX AS "
+        "'def arith(x: int) -> int: return x * 3 + 1'"
+    )
+    sql = (
+        f"SELECT count(*), sum(arith(v)) FROM metrics "
+        f"WHERE id < {scan_limit}"
+    )
+
+    # -- plan-cache latency: miss (cache cleared) vs hit ----------------
+    # Measured over a deliberately tiny table so parse/plan/optimize
+    # dominates execution; against ``metrics`` the scan would bury the
+    # planning cost the cache removes.
+    db.snapshots.enable(db)
+    db.execute("CREATE TABLE plan_demo (id INT, v INT)")
+    db.insert_rows("plan_demo", [(i, i) for i in range(8)])
+    plan_sql = (
+        "SELECT id, v FROM plan_demo WHERE id < 4 AND v >= 0 "
+        "AND id + v < 100 AND v * 2 >= 0 ORDER BY id, v"
+    )
+    misses, hits = [], []
+    for __ in range(25):
+        db.plan_cache.clear()
+        start = perf_counter()
+        db.execute_read(plan_sql)
+        misses.append(perf_counter() - start)
+    db.execute_read(plan_sql)  # prime
+    for __ in range(25):
+        start = perf_counter()
+        db.execute_read(plan_sql)
+        hits.append(perf_counter() - start)
+    result.meta["plan_cache_latency"] = {
+        "miss_median_s": median(misses),
+        "hit_median_s": median(hits),
+        "hit_over_miss": median(hits) / median(misses),
+    }
+
+    try:
+        with AsyncDatabaseServer(db, concurrency=concurrency) as server:
+            for clients in client_counts:
+                latencies: list = []
+                errors: list = []
+                lock = threading.Lock()
+                barrier = threading.Barrier(clients + 1)
+
+                def worker():
+                    mine = []
+                    try:
+                        with Client(server.host, server.port) as conn:
+                            conn.execute(sql)  # connection warm-up
+                            barrier.wait()
+                            for __ in range(statements_per_client):
+                                start = perf_counter()
+                                conn.execute(sql)
+                                mine.append(perf_counter() - start)
+                    except Exception as exc:  # pragma: no cover
+                        errors.append(exc)
+                    with lock:
+                        latencies.extend(mine)
+
+                threads = [
+                    threading.Thread(target=worker)
+                    for __ in range(clients)
+                ]
+                for thread in threads:
+                    thread.start()
+                barrier.wait()
+                sweep_start = perf_counter()
+                for thread in threads:
+                    thread.join()
+                elapsed = perf_counter() - sweep_start
+                if errors:
+                    raise errors[0]
+                total = clients * statements_per_client
+                result.add_point(
+                    "throughput stmt/s", clients, total / elapsed
+                )
+                result.add_point(
+                    "p50 latency s", clients, _percentile(latencies, 0.50)
+                )
+                result.add_point(
+                    "p95 latency s", clients, _percentile(latencies, 0.95)
+                )
+                result.add_point(
+                    "p99 latency s", clients, _percentile(latencies, 0.99)
+                )
+            stats = server.stats_snapshot()
+            result.meta["plan_cache"] = stats["plan_cache"]
+            result.meta["snapshots"] = stats["snapshots"]
+            result.meta["admission"] = stats["admission"]
+    finally:
+        db.close()
+    return result

@@ -260,17 +260,26 @@ class UDFRegistry:
     def names(self) -> List[str]:
         return sorted(d.name for d in self._definitions.values())
 
-    def executor_for_query(self, name: str):
+    def executor_for_query(self, name: str, private: bool = False):
         """An executor for one query's worth of invocations.
 
         In-process designs share one executor per registration (created
         lazily); isolated designs get a fresh remote process per query,
         as in the paper's implementation.
+
+        ``private=True`` gives even in-process designs a fresh executor
+        object: the shared ones carry per-query mutable state (context,
+        owner thread, profile handle), so statements running
+        *concurrently* — the async server's snapshot reads — must not
+        share them.  Construction is cheap (the VM's loaded program is
+        reused), and releasing is just ``end_query`` — callers must NOT
+        ``close()`` a private in-process executor, since sandbox close
+        unloads the UDF from the shared VM.
         """
         definition = self.get(name)
         from .factory import make_executor
 
-        if definition.design.is_isolated:
+        if definition.design.is_isolated or private:
             return make_executor(definition, self.environment)
         key = definition.name.lower()
         executor = self._shared_executors.get(key)

@@ -26,7 +26,8 @@ registered UDFs on reopen.
 from __future__ import annotations
 
 import os
-from typing import Iterable, List, Optional, Sequence
+import threading
+from typing import Callable, Iterable, List, Optional, Sequence
 
 from .core.callbacks import CallbackBroker
 from .core.designs import Design
@@ -37,9 +38,12 @@ from .core.udf import (
     UDFSignature,
 )
 from .errors import PlanError, RecordError
+from .sql import ast_nodes as A
 from .sql.executor import QueryResult, StatementExecutor
 from .sql.parser import parse_script, parse_statement
+from .sql.plancache import PlanCache
 from .storage.buffer import BufferPool
+from .storage.mvcc import SnapshotManager
 from .storage.catalog import Catalog, TableInfo, UDFInfo
 from .storage.disk import DiskManager
 from .storage.heapfile import HeapFile
@@ -120,6 +124,21 @@ class Database:
         self.observability = Observability(metrics=metrics, adaptive=adaptive)
         self.registry = UDFRegistry(self.environment)
         self._executor = StatementExecutor(self)
+        #: Single-writer serialization: every mutating statement (DDL,
+        #: DML, CREATE/DROP FUNCTION) runs under this lock.  Uncontended
+        #: in embedded use; the concurrent server relies on it plus
+        #: :attr:`snapshots` for its readers-never-block protocol.
+        self._write_lock = threading.RLock()
+        #: MVCC-lite snapshot store (disabled by default — see
+        #: :mod:`repro.storage.mvcc`).  The concurrent server enables it
+        #: before accepting connections: ``db.snapshots.enable(db)``.
+        self.snapshots = SnapshotManager()
+        #: Shared prepared-plan cache, consulted by
+        #: :meth:`execute_read`; keyed on SQL text +
+        #: :meth:`settings_fingerprint`, so DDL/UDF changes (which bump
+        #: the catalog epoch) invalidate structurally.
+        self.plan_cache = PlanCache()
+        self._stats_sources: dict = {}
         self._reload_udfs()
 
     @property
@@ -189,14 +208,111 @@ class Database:
 
     # -- SQL entry points ------------------------------------------------------
 
+    #: Statement classes that mutate storage or the catalog and so run
+    #: under the single-writer lock.
+    _WRITE_STATEMENTS = (
+        A.CreateTable, A.DropTable, A.CreateIndex,
+        A.Insert, A.Update, A.Delete,
+        A.CreateFunction, A.DropFunction,
+    )
+
     def execute(self, sql: str) -> QueryResult:
         """Parse and run one SQL statement."""
-        return self._executor.execute(parse_statement(sql))
+        return self.execute_statement(parse_statement(sql))
+
+    def execute_statement(self, statement: "A.Statement") -> QueryResult:
+        """Run one parsed statement, serializing writes.
+
+        Reads take no lock at all — with snapshots disabled (embedded
+        default) that is exactly the seed single-threaded behaviour;
+        with them enabled, concurrent readers go through
+        :meth:`execute_read` instead.
+        """
+        if isinstance(statement, self._WRITE_STATEMENTS):
+            with self._write_lock:
+                try:
+                    return self._executor.execute(statement)
+                finally:
+                    self._install_after_write(statement)
+        return self._executor.execute(statement)
+
+    def execute_read(self, sql: str) -> QueryResult:
+        """Run one read-only statement, concurrency-safe.
+
+        The concurrent server's read path: the statement is looked up in
+        (or planned into) the shared :attr:`plan_cache`, executed against
+        a freshly pinned snapshot when :attr:`snapshots` is enabled (so
+        scans never touch live pages), and given private per-query UDF
+        executors.  Adaptive optimization re-plans per query by design,
+        so it bypasses the cache.  A statement that turns out to be a
+        write falls through to :meth:`execute_statement` (serialized).
+        """
+        fingerprint = self.settings_fingerprint()
+        # Only SELECT-shaped texts participate in the cache: writes are
+        # never cached, and counting them as misses would make the
+        # hit-rate statistic meaningless under mixed workloads.
+        use_cache = (
+            self.observability.adaptive is None
+            and sql.lstrip()[:6].lower() == "select"
+        )
+        entry = (
+            self.plan_cache.lookup(sql, fingerprint) if use_cache else None
+        )
+        if entry is not None:
+            statement, plan = entry
+        else:
+            statement, plan = parse_statement(sql), None
+        if not isinstance(statement, A.Select):
+            return self.execute_statement(statement)
+        snapshot = self.snapshots.pin() if self.snapshots.enabled else None
+        try:
+            result, plan = self._executor.select_with_plan(
+                statement, snapshot=snapshot, plan=plan,
+                private=snapshot is not None,
+            )
+        finally:
+            if snapshot is not None:
+                snapshot.release()
+        if use_cache and entry is None:
+            self.plan_cache.store(sql, fingerprint, statement, plan)
+        return result
+
+    def settings_fingerprint(self) -> tuple:
+        """Plan-affecting state: schema epoch + optimizer settings.
+
+        Part of every plan-cache key; anything that changes what
+        ``plan_select``/``optimize`` would produce must appear here.
+        """
+        return (self.catalog.epoch, self.parallelism, self.inlining)
+
+    def _install_after_write(self, statement: "A.Statement") -> None:
+        """Freeze the written table's new state for snapshot readers.
+
+        Runs under the write lock, even when the statement failed —
+        a partially applied DML still dirtied pages, and the next
+        snapshot must see what live reads would.
+        """
+        if not self.snapshots.enabled:
+            return
+        if isinstance(statement, A.DropTable):
+            self.snapshots.forget(statement.name)
+            return
+        if isinstance(statement, (A.Insert, A.Update, A.Delete)):
+            table_name = statement.table
+        elif isinstance(statement, A.CreateTable):
+            table_name = statement.name
+        else:
+            return  # indexes / functions don't change heap contents
+        if self.catalog.has_table(table_name):
+            table = self.catalog.get_table(table_name)
+            self.snapshots.install(
+                self.pool, table.name, table.first_page
+            )
 
     def execute_script(self, sql: str) -> List[QueryResult]:
         """Run a semicolon-separated script; returns one result each."""
         return [
-            self._executor.execute(statement)
+            self.execute_statement(statement)
             for statement in parse_script(sql)
         ]
 
@@ -211,7 +327,14 @@ class Database:
         ``Database(metrics=True)``); ``adaptive`` is the feedback
         store's state (None unless ``Database(adaptive=True)``).
         """
-        return self.observability.stats()
+        data = self.observability.stats()
+        for name, source in self._stats_sources.items():
+            data[name] = source()
+        return data
+
+    def attach_stats_source(self, name: str, source: Callable[[], object]):
+        """Add a section to :meth:`stats` (servers surface theirs here)."""
+        self._stats_sources[name] = source
 
     # -- programmatic data path (used by workload generators) ---------------------
 
@@ -221,12 +344,29 @@ class Database:
         """Bulk-insert host values, bypassing the SQL parser."""
         table = self.catalog.get_table(table_name)
         count = 0
-        for row in rows:
-            self.insert_row(table, list(row))
-            count += 1
+        with self._write_lock:
+            try:
+                for row in rows:
+                    self._insert_row_locked(table, list(row))
+                    count += 1
+            finally:
+                self.snapshots.install(
+                    self.pool, table.name, table.first_page
+                )
         return count
 
     def insert_row(self, table: TableInfo, values: List[object]) -> None:
+        with self._write_lock:
+            try:
+                self._insert_row_locked(table, values)
+            finally:
+                self.snapshots.install(
+                    self.pool, table.name, table.first_page
+                )
+
+    def _insert_row_locked(
+        self, table: TableInfo, values: List[object]
+    ) -> None:
         if len(values) != len(table.columns):
             raise RecordError(
                 f"{len(values)} values for {len(table.columns)} columns"

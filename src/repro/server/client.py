@@ -57,7 +57,13 @@ class ClientResult:
 class Client:
     """A connection to a :class:`~repro.server.server.DatabaseServer`."""
 
-    def __init__(self, host: str, port: int, timeout: float = 30.0):
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 30.0,
+        tenant: Optional[str] = None,
+    ):
         try:
             self._sock = socket.create_connection((host, port), timeout)
         except OSError as exc:
@@ -65,7 +71,12 @@ class Client:
         #: Wire accounting (drives the Section 3.1 data-shipping study).
         self.bytes_sent = 0
         self.bytes_received = 0
-        protocol.send_frame(self._sock, protocol.OP_HELLO)
+        self.tenant = tenant
+        # ``tenant`` declares an admission-control identity to the
+        # concurrent server; the classic empty HELLO makes this session
+        # its own tenant (and is what older servers expect).
+        hello = protocol.encode_values(tenant) if tenant is not None else b""
+        protocol.send_frame(self._sock, protocol.OP_HELLO, hello)
         opcode, payload = self._recv()
         if opcode != protocol.OP_WELCOME:
             raise ClientError("server did not answer HELLO")
@@ -84,12 +95,23 @@ class Client:
 
     def execute(self, sql: str) -> ClientResult:
         self._send(protocol.OP_EXECUTE, protocol.encode_values(sql))
-        opcode, payload = self._recv()
-        if opcode == protocol.OP_ERROR:
-            raise ServerReportedError(*protocol.decode_values(payload, 2))
-        if opcode != protocol.OP_RESULT:
-            raise ClientError(f"unexpected reply opcode {opcode}")
-        columns, rowcount, rows = protocol.decode_result(payload)
+        # Large results stream as OP_RESULT_PART chunks closed by the
+        # final OP_RESULT; reassembly is plain concatenation.
+        chunks = []
+        while True:
+            opcode, payload = self._recv()
+            if opcode == protocol.OP_RESULT_PART:
+                chunks.append(payload)
+                continue
+            if opcode == protocol.OP_ERROR:
+                raise ServerReportedError(
+                    *protocol.decode_values(payload, 2)
+                )
+            if opcode != protocol.OP_RESULT:
+                raise ClientError(f"unexpected reply opcode {opcode}")
+            chunks.append(payload)
+            break
+        columns, rowcount, rows = protocol.decode_result(b"".join(chunks))
         return ClientResult(columns=columns, rows=rows, rowcount=rowcount)
 
     def ping(self) -> bool:

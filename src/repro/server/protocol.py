@@ -36,6 +36,14 @@ OP_RESULT = 17        # payload: (columns row, rowcount, rows bytes)
 OP_OK = 18
 OP_ERROR = 19         # payload: (error class name, message)
 OP_PONG = 20
+OP_RESULT_PART = 21   # payload: one chunk of a large OP_RESULT payload
+
+#: Maximum payload carried by one result frame.  Larger encoded results
+#: are streamed as OP_RESULT_PART continuation frames capped at this
+#: size, closing with a final OP_RESULT — mirroring the isolated
+#: channel's 1 MiB retained-buffer bound, so a LOB-heavy result cannot
+#: balloon one frame toward MAX_FRAME.
+RESULT_CHUNK_CAP = 1024 * 1024
 
 
 def send_frame(sock: socket.socket, opcode: int, payload: bytes = b"") -> None:
@@ -85,6 +93,28 @@ def decode_values(payload: bytes, count: int) -> tuple:
 
 def encode_result(columns, rows) -> bytes:
     return encode_values(tuple(columns), len(rows)) + adtstream.dump_rows(rows)
+
+
+def result_frames(columns, rows):
+    """``(opcode, payload)`` frames for one result, chunked if large.
+
+    A result whose encoding fits :data:`RESULT_CHUNK_CAP` ships as the
+    single classic ``OP_RESULT`` frame (bit-identical to the unchunked
+    protocol); anything bigger ships as ``OP_RESULT_PART`` chunks
+    followed by an ``OP_RESULT`` carrying the final chunk.  The client
+    reassembles by concatenation, so
+    ``decode_result(b"".join(payloads))`` sees exactly the one-frame
+    encoding.
+    """
+    payload = encode_result(columns, rows)
+    if len(payload) <= RESULT_CHUNK_CAP:
+        yield OP_RESULT, payload
+        return
+    offset = 0
+    while len(payload) - offset > RESULT_CHUNK_CAP:
+        yield OP_RESULT_PART, payload[offset:offset + RESULT_CHUNK_CAP]
+        offset += RESULT_CHUNK_CAP
+    yield OP_RESULT, payload[offset:]
 
 
 def decode_result(payload: bytes):

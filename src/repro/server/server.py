@@ -10,14 +10,21 @@ ran concurrent clients, but its *expression evaluation* was serial, and
 a single-writer embedded engine keeps the reproduction honest about what
 it measures (the benchmarks are single-client anyway).  The interesting
 concurrency — threads created for UDF thread groups, remote executor
-processes — happens below this lock.
+processes — happens below this lock.  For concurrent statement
+execution, see :class:`~repro.server.aserver.AsyncDatabaseServer`, which
+speaks the same wire protocol.
+
+``stop()`` drains: it waits (bounded) for in-flight statements to send
+their result or error frame, then unblocks idle reader threads by
+closing their sockets, and joins every client thread.
 """
 
 from __future__ import annotations
 
 import socket
 import threading
-from typing import Optional
+import time
+from typing import List, Optional, Set
 
 from ..core.designs import Design
 from ..core.udf import UDFDefinition, UDFSignature
@@ -25,6 +32,53 @@ from ..database import Database
 from ..errors import ProtocolError, ReproError
 from . import protocol
 from .session import Session
+
+
+def materialize_rows(database: Database, rows):
+    """Resolve LOB references into bytes before rows leave the server.
+
+    Embedded callers can keep references and stream ranges; a remote
+    client has no access to the server's pages, so projected large
+    objects ship by value (this is what makes the data-shipping
+    strategy of Section 3.1 expensive — measurably so).
+    """
+    from ..storage.lob import LOBRef
+
+    materialized = []
+    for row in rows:
+        if any(isinstance(value, LOBRef) for value in row):
+            row = tuple(
+                database.lobs.read(value)
+                if isinstance(value, LOBRef) else value
+                for value in row
+            )
+        materialized.append(row)
+    return materialized
+
+
+def build_udf_definition(session: Session, payload: bytes) -> UDFDefinition:
+    """Decode an ``OP_REGISTER_UDF`` payload, enforcing session policy."""
+    name, params, ret, design_name, entry, callbacks, udf_payload = (
+        protocol.decode_values(payload, 7)
+    )
+    design = Design(design_name)
+    session.check_design_allowed(design)
+    # A session-level QuotaPolicy caps this session's registrations;
+    # None inherits the server VM's default policy at load time.
+    policy = session.policy
+    return UDFDefinition(
+        name=name,
+        signature=UDFSignature(tuple(params), ret),
+        design=design,
+        payload=bytes(udf_payload),
+        entry=entry,
+        callbacks=tuple(callbacks),
+        # The wire protocol carries no hints; the analyzer derives
+        # them from the (re-verified) payload at registration.
+        cost=None,
+        fuel=policy.fuel if policy is not None else None,
+        memory=policy.memory if policy is not None else None,
+    )
 
 
 class DatabaseServer:
@@ -44,6 +98,13 @@ class DatabaseServer:
         self._lock = threading.Lock()
         self._accept_thread: Optional[threading.Thread] = None
         self._running = False
+        # Drain bookkeeping: live client threads and their sockets, the
+        # number of statements currently being handled, and the counter
+        # lock that makes cross-thread mutation safe.
+        self._state_lock = threading.Lock()
+        self._client_threads: List[threading.Thread] = []
+        self._client_conns: Set[socket.socket] = set()
+        self._busy = 0
         self.sessions_served = 0
 
     # -- lifecycle ------------------------------------------------------------
@@ -55,12 +116,42 @@ class DatabaseServer:
         )
         self._accept_thread.start()
 
-    def stop(self) -> None:
+    def stop(self, timeout: float = 5.0) -> None:
+        """Drain in-flight statements, then close every connection.
+
+        A statement already executing when ``stop`` is called still gets
+        its result (or error) frame, up to ``timeout`` seconds; only
+        then are sockets closed, which unblocks threads idling in
+        ``recv`` so they can be joined.
+        """
         self._running = False
         try:
             self._listener.close()
         except OSError:
             pass
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            with self._state_lock:
+                if self._busy == 0:
+                    break
+            time.sleep(0.005)
+        with self._state_lock:
+            conns = list(self._client_conns)
+        for conn in conns:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=1.0)
+        with self._state_lock:
+            threads = [t for t in self._client_threads if t.is_alive()]
+        for thread in threads:
+            thread.join(timeout=max(0.1, deadline - time.monotonic()))
 
     def __enter__(self) -> "DatabaseServer":
         self.start()
@@ -77,13 +168,16 @@ class DatabaseServer:
                 conn, addr = self._listener.accept()
             except OSError:
                 return  # listener closed
-            self.sessions_served += 1
             thread = threading.Thread(
                 target=self._serve_client,
                 args=(conn, addr),
                 name=f"client-{addr[1]}",
                 daemon=True,
             )
+            with self._state_lock:
+                self.sessions_served += 1
+                self._client_threads.append(thread)
+                self._client_conns.add(conn)
             thread.start()
 
     def _serve_client(self, conn: socket.socket, addr) -> None:
@@ -99,13 +193,29 @@ class DatabaseServer:
                         return
                     if opcode == protocol.OP_CLOSE:
                         return
-                    self._handle(conn, session, opcode, payload)
+                    with self._state_lock:
+                        self._busy += 1
+                    try:
+                        self._handle(conn, session, opcode, payload)
+                    finally:
+                        with self._state_lock:
+                            self._busy -= 1
         except OSError:
             return
+        finally:
+            with self._state_lock:
+                self._client_conns.discard(conn)
+                if threading.current_thread() in self._client_threads:
+                    self._client_threads.remove(
+                        threading.current_thread()
+                    )
 
     def _handle(self, conn, session: Session, opcode: int, payload: bytes) -> None:
         try:
             if opcode == protocol.OP_HELLO:
+                if payload:
+                    (tenant,) = protocol.decode_values(payload, 1)
+                    session.tenant = str(tenant)
                 protocol.send_frame(
                     conn,
                     protocol.OP_WELCOME,
@@ -115,17 +225,23 @@ class DatabaseServer:
                 protocol.send_frame(conn, protocol.OP_PONG)
             elif opcode == protocol.OP_EXECUTE:
                 (sql,) = protocol.decode_values(payload, 1)
-                session.statements += 1
+                session.note_statement()
                 with self._lock:
                     result = self.database.execute(sql)
-                    rows = self._materialize(result.rows)
-                protocol.send_frame(
-                    conn,
-                    protocol.OP_RESULT,
-                    protocol.encode_result(result.columns, rows),
-                )
+                    rows = materialize_rows(self.database, result.rows)
+                for frame_opcode, frame_payload in protocol.result_frames(
+                    result.columns, rows
+                ):
+                    protocol.send_frame(conn, frame_opcode, frame_payload)
             elif opcode == protocol.OP_REGISTER_UDF:
-                self._register_udf(conn, session, payload)
+                definition = build_udf_definition(session, payload)
+                with self._lock:
+                    # The payload may be classfile bytes compiled at the
+                    # client; registration re-verifies them (never trust
+                    # the client).
+                    self.database.register_udf(definition)
+                session.note_udf_registered()
+                protocol.send_frame(conn, protocol.OP_OK)
             else:
                 raise ProtocolError(f"unknown opcode {opcode}")
         except Exception as exc:  # every failure becomes an ERROR frame
@@ -135,52 +251,16 @@ class DatabaseServer:
                 protocol.encode_values(type(exc).__name__, str(exc)),
             )
 
+    def stats_snapshot(self) -> dict:
+        """Server counters (attachable via ``db.attach_stats_source``)."""
+        with self._state_lock:
+            return {
+                "kind": "threaded",
+                "sessions_served": self.sessions_served,
+                "open_connections": len(self._client_conns),
+                "busy_statements": self._busy,
+            }
+
     def _materialize(self, rows):
-        """Resolve LOB references into bytes before rows leave the server.
-
-        Embedded callers can keep references and stream ranges; a remote
-        client has no access to the server's pages, so projected large
-        objects ship by value (this is what makes the data-shipping
-        strategy of Section 3.1 expensive — measurably so).
-        """
-        from ..storage.lob import LOBRef
-
-        materialized = []
-        for row in rows:
-            if any(isinstance(value, LOBRef) for value in row):
-                row = tuple(
-                    self.database.lobs.read(value)
-                    if isinstance(value, LOBRef) else value
-                    for value in row
-                )
-            materialized.append(row)
-        return materialized
-
-    def _register_udf(self, conn, session: Session, payload: bytes) -> None:
-        name, params, ret, design_name, entry, callbacks, udf_payload = (
-            protocol.decode_values(payload, 7)
-        )
-        design = Design(design_name)
-        session.check_design_allowed(design)
-        # A session-level QuotaPolicy caps this session's registrations;
-        # None inherits the server VM's default policy at load time.
-        policy = session.policy
-        definition = UDFDefinition(
-            name=name,
-            signature=UDFSignature(tuple(params), ret),
-            design=design,
-            payload=bytes(udf_payload),
-            entry=entry,
-            callbacks=tuple(callbacks),
-            # The wire protocol carries no hints; the analyzer derives
-            # them from the (re-verified) payload at registration.
-            cost=None,
-            fuel=policy.fuel if policy is not None else None,
-            memory=policy.memory if policy is not None else None,
-        )
-        with self._lock:
-            # The payload may be classfile bytes compiled at the client;
-            # registration re-verifies them (never trust the client).
-            self.database.register_udf(definition)
-        session.udfs_registered += 1
-        protocol.send_frame(conn, protocol.OP_OK)
+        """Back-compat alias for :func:`materialize_rows`."""
+        return materialize_rows(self.database, rows)

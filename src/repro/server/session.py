@@ -13,6 +13,7 @@ vendor path of Section 2.2).
 from __future__ import annotations
 
 import itertools
+import threading
 from dataclasses import dataclass, field
 from typing import FrozenSet, Optional
 
@@ -47,6 +48,29 @@ class Session:
     #: default.  A derived :class:`QuotaPolicy` object — never a mutated
     #: global — so two sessions with different caps coexist safely.
     policy: Optional[QuotaPolicy] = None
+    #: Admission-control identity.  Clients may declare a tenant name in
+    #: their HELLO; undeclared sessions each form a tenant of their own
+    #: (``session-<id>``), so per-tenant budgets degrade to per-session.
+    tenant: Optional[str] = None
+    #: Guards the counters above: the concurrent server touches one
+    #: session from multiple worker threads.
+    _counter_lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    @property
+    def tenant_name(self) -> str:
+        return self.tenant or f"session-{self.session_id}"
+
+    def note_statement(self) -> int:
+        with self._counter_lock:
+            self.statements += 1
+            return self.statements
+
+    def note_udf_registered(self) -> int:
+        with self._counter_lock:
+            self.udfs_registered += 1
+            return self.udfs_registered
 
     def check_design_allowed(self, design: Design) -> None:
         if self.trusted or design in UNTRUSTED_DESIGNS:

@@ -91,12 +91,19 @@ class _QueryUDFResolver(FunctionResolver):
     ``begin_query`` — admission refusals at pool setup are recorded too
     — and loses it again at ``finish`` (in-process executors are shared
     across queries; the handle must not outlive this one).
+
+    ``private=True`` requests fresh (unshared) executors even for
+    in-process designs — required when statements run concurrently, see
+    :meth:`~repro.core.udf.UDFRegistry.executor_for_query`.  ``finish``
+    is unchanged for them: ``end_query`` releases everything a private
+    executor holds (closing one would unload the UDF from the shared VM).
     """
 
-    def __init__(self, registry, binding, profile=None):
+    def __init__(self, registry, binding, profile=None, private=False):
         self.registry = registry
         self.binding = binding
         self.profile = profile
+        self.private = private
         self.executors: Dict[str, object] = {}
 
     def resolve_udf(self, name: str):
@@ -105,7 +112,9 @@ class _QueryUDFResolver(FunctionResolver):
             return None
         executor = self.executors.get(key)
         if executor is None:
-            executor = self.registry.executor_for_query(key)
+            executor = self.registry.executor_for_query(
+                key, private=self.private
+            )
             if self.profile is not None:
                 executor.profile = self.profile.udf(
                     key, executor.definition.design.value
@@ -150,10 +159,12 @@ class _RegistryOracle(CostOracle):
     observed number overrides the static hint.
     """
 
-    def __init__(self, registry, adaptive=None, inlining=False):
+    def __init__(self, registry, adaptive=None, inlining=False,
+                 private=False):
         self.registry = registry
         self.adaptive = adaptive
         self.inlining = inlining
+        self.private = private
 
     def inline_template(self, name: str):
         """The UDF's :class:`~repro.analysis.decompile.InlineTemplate`,
@@ -220,7 +231,9 @@ class _RegistryOracle(CostOracle):
                 definition.signature.param_types, args
             )
         ]
-        executor = self.registry.executor_for_query(name)
+        executor = self.registry.executor_for_query(
+            name, private=self.private
+        )
         try:
             executor.begin_query()
             return executor.invoke(coerced)
@@ -264,27 +277,53 @@ class StatementExecutor:
     # -- SELECT ------------------------------------------------------------------
 
     def execute_select(self, select: A.Select) -> QueryResult:
+        return self.select_with_plan(select)[0]
+
+    def select_with_plan(
+        self,
+        select: A.Select,
+        snapshot=None,
+        plan: Optional[LogicalPlan] = None,
+        private: bool = False,
+    ) -> Tuple[QueryResult, LogicalPlan]:
+        """Run a SELECT, also returning its optimized logical plan.
+
+        ``plan`` short-circuits planning with a plan-cache hit (the
+        logical plan carries no execution state, so one cached object
+        serves any number of concurrent statements); the returned plan
+        is what a caller stores back into the cache on a miss.
+        ``snapshot`` routes scans to the pinned frozen table images
+        instead of live heap pages, and ``private`` gives each UDF a
+        fresh (unshared) executor — both required when this statement
+        runs concurrently with others.
+        """
         obs = self.db.observability
         profile = obs.query_profile()
         binding = self.db.broker.bind()
-        resolver = _QueryUDFResolver(self.db.registry, binding, profile)
+        resolver = _QueryUDFResolver(
+            self.db.registry, binding, profile, private=private
+        )
         runtime = QueryRuntime(lobs=self.db.lobs, binding=binding)
         try:
-            plan = plan_select(select, self.db.catalog, resolver)
-            plan = optimize(
-                plan,
-                _RegistryOracle(
-                    self.db.registry, obs.adaptive,
+            if plan is None:
+                plan = plan_select(select, self.db.catalog, resolver)
+                plan = optimize(
+                    plan,
+                    _RegistryOracle(
+                        self.db.registry, obs.adaptive,
+                        inlining=self.db.inlining, private=private,
+                    ),
+                    parallelism=self.db.parallelism,
                     inlining=self.db.inlining,
-                ),
-                parallelism=self.db.parallelism,
-                inlining=self.db.inlining,
+                )
+            root = self._physical(
+                plan, resolver, runtime, profile, snapshot=snapshot
             )
-            root = self._physical(plan, resolver, runtime, profile)
             rows = [tuple(row) for row in root.rows()]
-            return QueryResult(
+            result = QueryResult(
                 columns=plan.schema.names(), rows=rows, rowcount=len(rows)
             )
+            return result, plan
         finally:
             resolver.finish()
             if profile is not None:
@@ -318,7 +357,9 @@ class StatementExecutor:
                 inlining=self.db.inlining,
             )
             if statement.analyze:
-                root = self._physical(plan, resolver, runtime, profile)
+                root = self._physical(
+                    plan, resolver, runtime, profile, snapshot=None
+                )
                 for __ in root.batches():
                     pass
             lines = explain_plan(
@@ -346,8 +387,11 @@ class StatementExecutor:
         resolver: _QueryUDFResolver,
         runtime: QueryRuntime,
         profile=None,
+        snapshot=None,
     ) -> PhysicalOp:
-        op = self._build_physical(plan, resolver, runtime, profile)
+        op = self._build_physical(
+            plan, resolver, runtime, profile, snapshot=snapshot
+        )
         if profile is not None and profile.track_operators:
             stats = profile.operator(plan, type(op).__name__)
             instrument_operator(op, stats)
@@ -359,6 +403,7 @@ class StatementExecutor:
         resolver: _QueryUDFResolver,
         runtime: QueryRuntime,
         profile=None,
+        snapshot=None,
     ) -> PhysicalOp:
         pool = self.db.pool
         batch_size = self.db.batch_size
@@ -385,14 +430,17 @@ class StatementExecutor:
                 return IndexScan(
                     pool, plan.table_info, plan.index,
                     plan.index_lo, plan.index_hi, predicates,
-                    batch_size=batch_size,
+                    batch_size=batch_size, snapshot=snapshot,
                 )
             return SeqScan(
-                pool, plan.table_info, predicates, batch_size=batch_size
+                pool, plan.table_info, predicates, batch_size=batch_size,
+                snapshot=snapshot,
             )
         if isinstance(plan, LogicalJoin):
-            left = self._physical(plan.left, resolver, runtime, profile)
-            right = self._physical(plan.right, resolver, runtime, profile)
+            left = self._physical(plan.left, resolver, runtime, profile,
+                                      snapshot=snapshot)
+            right = self._physical(plan.right, resolver, runtime, profile,
+                                      snapshot=snapshot)
             predicates = compile_predicates(plan.predicates, plan.schema)
             return NestedLoopJoin(
                 left, right, predicates, batch_size=batch_size
@@ -401,7 +449,8 @@ class StatementExecutor:
             inner = plan.child
             if isinstance(inner, LogicalFilter):
                 child = self._physical(
-                    inner.child, resolver, runtime, profile
+                    inner.child, resolver, runtime, profile,
+                    snapshot=snapshot,
                 )
                 predicates = compile_predicates(
                     inner.predicates, inner.child.schema
@@ -412,7 +461,8 @@ class StatementExecutor:
 
             elif isinstance(inner, LogicalProject):
                 child = self._physical(
-                    inner.child, resolver, runtime, profile
+                    inner.child, resolver, runtime, profile,
+                    snapshot=snapshot,
                 )
                 exprs = compile_all(inner.exprs, inner.child.schema)
 
@@ -425,25 +475,29 @@ class StatementExecutor:
 
             else:
                 # Unknown region shape: run it serially rather than fail.
-                return self._build_physical(inner, resolver, runtime, profile)
+                return self._build_physical(inner, resolver, runtime, profile,
+                                      snapshot=snapshot)
             return Exchange(
                 child, stage, parallelism=plan.parallelism,
                 batch_size=batch_size,
             )
         if isinstance(plan, LogicalFilter):
-            child = self._physical(plan.child, resolver, runtime, profile)
+            child = self._physical(plan.child, resolver, runtime, profile,
+                                      snapshot=snapshot)
             return Filter(
                 child, compile_predicates(plan.predicates, plan.child.schema),
                 batch_size=batch_size,
             )
         if isinstance(plan, LogicalProject):
-            child = self._physical(plan.child, resolver, runtime, profile)
+            child = self._physical(plan.child, resolver, runtime, profile,
+                                      snapshot=snapshot)
             return Project(
                 child, compile_all(plan.exprs, plan.child.schema),
                 batch_size=batch_size,
             )
         if isinstance(plan, LogicalAggregate):
-            child = self._physical(plan.child, resolver, runtime, profile)
+            child = self._physical(plan.child, resolver, runtime, profile,
+                                      snapshot=snapshot)
             group_fns = compile_all(plan.group_exprs, plan.child.schema)
             agg_specs = [
                 (
@@ -464,18 +518,21 @@ class StatementExecutor:
             )
         if isinstance(plan, LogicalDistinct):
             return Distinct(
-                self._physical(plan.child, resolver, runtime, profile),
+                self._physical(plan.child, resolver, runtime, profile,
+                               snapshot=snapshot),
                 batch_size=batch_size,
             )
         if isinstance(plan, LogicalSort):
-            child = self._physical(plan.child, resolver, runtime, profile)
+            child = self._physical(plan.child, resolver, runtime, profile,
+                                      snapshot=snapshot)
             key_fns = compile_all(plan.keys, plan.child.schema)
             return Sort(
                 child, key_fns, plan.descending, batch_size=batch_size
             )
         if isinstance(plan, LogicalLimit):
             return Limit(
-                self._physical(plan.child, resolver, runtime, profile),
+                self._physical(plan.child, resolver, runtime, profile,
+                               snapshot=snapshot),
                 plan.limit,
                 batch_size=batch_size,
             )
@@ -593,20 +650,25 @@ class StatementExecutor:
         resolver = FunctionResolver()
         runtime = QueryRuntime(lobs=self.db.lobs)
         count = 0
-        for value_exprs in statement.rows:
-            if len(value_exprs) != len(positions):
-                raise PlanError(
-                    f"INSERT supplies {len(value_exprs)} values for "
-                    f"{len(positions)} columns"
-                )
-            values: List[object] = [None] * len(table.columns)
-            provided = [False] * len(table.columns)
-            for position, expr in zip(positions, value_exprs):
-                fn = compile_expr(expr, empty, resolver, runtime)
-                values[position] = fn([])
-                provided[position] = True
-            self.db.insert_row(table, values)
-            count += 1
+        # All rows of one INSERT go in under one write-lock hold and
+        # *without* per-row snapshot installs: the statement-level
+        # install happens once when the statement finishes, so snapshot
+        # readers see a multi-row INSERT atomically.
+        with self.db._write_lock:
+            for value_exprs in statement.rows:
+                if len(value_exprs) != len(positions):
+                    raise PlanError(
+                        f"INSERT supplies {len(value_exprs)} values for "
+                        f"{len(positions)} columns"
+                    )
+                values: List[object] = [None] * len(table.columns)
+                provided = [False] * len(table.columns)
+                for position, expr in zip(positions, value_exprs):
+                    fn = compile_expr(expr, empty, resolver, runtime)
+                    values[position] = fn([])
+                    provided[position] = True
+                self.db._insert_row_locked(table, values)
+                count += 1
         return QueryResult(rowcount=count)
 
     def _collect_matches(

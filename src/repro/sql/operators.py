@@ -121,23 +121,39 @@ def _set_batch_size(op: PhysicalOp, batch_size: Optional[int]) -> None:
 
 
 class SeqScan(PhysicalOp):
-    """Full scan of a heap file with optional residual predicates."""
+    """Full scan of a heap file with optional residual predicates.
+
+    Under a pinned :class:`~repro.storage.mvcc.Snapshot` the scan reads
+    the table's frozen page image instead of the live heap — same
+    records, same storage order, but never touching the buffer pool, so
+    snapshot readers cannot block on (or observe) the serialized writer.
+    """
 
     def __init__(self, pool, table_info, predicates: Sequence[EvalFn] = (),
-                 batch_size: Optional[int] = None):
+                 batch_size: Optional[int] = None, snapshot=None):
         self.pool = pool
         self.table_info = table_info
         self.predicates = list(predicates)
+        self.snapshot = snapshot
         self._types = table_info.column_types()
         _set_batch_size(self, batch_size)
 
-    def batches(self) -> Iterator[Batch]:
+    def _records(self) -> Iterator[bytes]:
+        if self.snapshot is not None:
+            image = self.snapshot.image_for(self.table_info.name)
+            if image is not None:
+                yield from image.records()
+                return
         heap = HeapFile(self.pool, self.table_info.first_page)
+        for __, record in heap.scan():
+            yield record
+
+    def batches(self) -> Iterator[Batch]:
         predicates = self.predicates
         types = self._types
         size = max(1, self.batch_size)
         pending: Batch = []
-        for __, record in heap.scan():
+        for record in self._records():
             pending.append(deserialize_record(record, types))
             if len(pending) >= size:
                 batch = apply_predicates(predicates, pending)
@@ -151,7 +167,14 @@ class SeqScan(PhysicalOp):
 
 
 class IndexScan(PhysicalOp):
-    """B+-tree range scan feeding record fetches."""
+    """B+-tree range scan feeding record fetches.
+
+    Under a pinned snapshot the B+-tree (whose pages version with the
+    live heap, not with any image) cannot be walked; instead the frozen
+    table image is scanned and key order is recovered with a stable sort
+    on the indexed column — identical output for the append-ordered,
+    unique-rid trees this engine builds, without touching live pages.
+    """
 
     def __init__(
         self,
@@ -162,6 +185,7 @@ class IndexScan(PhysicalOp):
         hi: Optional[int],
         predicates: Sequence[EvalFn] = (),
         batch_size: Optional[int] = None,
+        snapshot=None,
     ):
         self.pool = pool
         self.table_info = table_info
@@ -169,17 +193,43 @@ class IndexScan(PhysicalOp):
         self.lo = lo
         self.hi = hi
         self.predicates = list(predicates)
+        self.snapshot = snapshot
         self._types = table_info.column_types()
         _set_batch_size(self, batch_size)
 
-    def batches(self) -> Iterator[Batch]:
+    def _rows_in_key_order(self) -> Iterator[Row]:
+        if self.snapshot is not None:
+            image = self.snapshot.image_for(self.table_info.name)
+            if image is not None:
+                position = self.table_info.column_index(
+                    self.index_info.column
+                )
+                lo, hi = self.lo, self.hi
+                selected = []
+                for record in image.records():
+                    row = deserialize_record(record, self._types)
+                    key = row[position]
+                    if key is None:  # NULL keys are not indexed
+                        continue
+                    if lo is not None and key < lo:
+                        continue
+                    if hi is not None and key > hi:
+                        continue
+                    selected.append(row)
+                selected.sort(key=lambda row: row[position])
+                yield from selected
+                return
         tree = BPlusTree(self.pool, self.index_info.root_page)
         heap = HeapFile(self.pool, self.table_info.first_page)
+        for __, rid in tree.range_scan(self.lo, self.hi):
+            yield deserialize_record(heap.get(rid), self._types)
+
+    def batches(self) -> Iterator[Batch]:
         predicates = self.predicates
         size = max(1, self.batch_size)
         pending: Batch = []
-        for __, rid in tree.range_scan(self.lo, self.hi):
-            pending.append(deserialize_record(heap.get(rid), self._types))
+        for row in self._rows_in_key_order():
+            pending.append(row)
             if len(pending) >= size:
                 batch = apply_predicates(predicates, pending)
                 pending = []

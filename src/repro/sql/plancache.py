@@ -1,0 +1,99 @@
+"""Shared prepared-plan cache for the concurrent server.
+
+Planning a statement is not free: parse, name resolution, optimization
+(predicate ordering, index selection, UDF inlining — re-walking the
+decompiler's templates every time).  Sessions issuing the same statement
+repeatedly — the common case for the paper's "millions of users" load
+shape — should pay that once.  The cache maps
+
+    (SQL text, fingerprint) -> (parsed statement, optimized LogicalPlan)
+
+where the *fingerprint* is ``Database.settings_fingerprint()``: the
+catalog's schema epoch plus every plan-affecting setting (parallelism,
+inlining).  DDL and CREATE/DROP FUNCTION bump the epoch, so stale plans
+can never hit again — invalidation is structural, not advisory; the
+superseded entries are dropped eagerly on the next store of the same
+text and counted as ``invalidations``.
+
+Cached logical plans are execution-state free (expression closures, UDF
+executors, and physical operators are built fresh per execution), so one
+entry may be *read* by any number of concurrent statements.  Adaptive
+optimization re-plans per query by design and bypasses this cache
+entirely (the caller's responsibility — see ``Database.execute_read``).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Optional, Tuple
+
+DEFAULT_PLAN_CACHE_CAPACITY = 256
+
+
+class PlanCache:
+    """Bounded, thread-safe LRU of prepared statements."""
+
+    def __init__(self, capacity: int = DEFAULT_PLAN_CACHE_CAPACITY):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[tuple, tuple]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def lookup(self, sql: str, fingerprint: tuple) -> Optional[Tuple]:
+        """The cached ``(statement, plan)`` pair, or None on a miss."""
+        key = (sql, fingerprint)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
+
+    def store(self, sql: str, fingerprint: tuple, statement, plan) -> None:
+        key = (sql, fingerprint)
+        with self._lock:
+            # Entries for the same text under an older fingerprint
+            # (schema epoch bumped, settings changed) can never hit
+            # again — drop them now instead of waiting for LRU churn.
+            stale = [
+                other for other in self._entries
+                if other[0] == sql and other != key
+            ]
+            for other in stale:
+                del self._entries[other]
+                self.invalidations += 1
+            self._entries[key] = (statement, plan)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self.invalidations += len(self._entries)
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> dict:
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "entries": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "hit_rate": self.hits / total if total else 0.0,
+                "evictions": self.evictions,
+                "invalidations": self.invalidations,
+            }

@@ -8,10 +8,24 @@ and writers); callers pin while using it and unpin with a dirty flag.
 ``hits`` / ``misses`` / ``evictions`` counters feed the benchmark
 harness — the paper's calibration experiment (Figure 4) is dominated by
 exactly these table-access costs.
+
+Concurrency: every public method takes the pool's reentrant lock, so
+frame bookkeeping (page table, pin counts, clock hand) stays consistent
+when the concurrent server's read statements and its single writer share
+one pool.  The lock covers the *bookkeeping*, not the returned frame
+bytes — writers are serialized above this layer (the database write
+lock), and snapshot readers never touch live frames at all (they read
+frozen page images, see :mod:`repro.storage.mvcc`).
+
+``page_version(page_id)`` exposes a monotonic per-page mutation counter
+(bumped on every dirty unpin and page allocation).  The MVCC installer
+diffs against it to copy only the pages a write statement actually
+touched into the next frozen table image.
 """
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from typing import Dict, Iterator, List, Optional
 
@@ -47,6 +61,9 @@ class BufferPool:
         ]
         self._table: Dict[int, int] = {}  # page_id -> frame index
         self._hand = 0
+        self._lock = threading.RLock()
+        #: page_id -> monotonic mutation counter (see module docstring).
+        self._page_versions: Dict[int, int] = {}
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -55,40 +72,55 @@ class BufferPool:
 
     def fetch(self, page_id: int) -> bytearray:
         """Pin a page and return its frame bytes."""
-        index = self._table.get(page_id)
-        if index is not None:
-            self.hits += 1
-            frame = self._frames[index]
-        else:
-            self.misses += 1
-            frame = self._grab_frame()
-            frame.page_id = page_id
-            frame.data[:] = self.disk.read_page(page_id)
-            frame.dirty = False
-            self._table[page_id] = frame.index
-        frame.pin_count += 1
-        frame.referenced = True
-        return frame.data
+        with self._lock:
+            index = self._table.get(page_id)
+            if index is not None:
+                self.hits += 1
+                frame = self._frames[index]
+            else:
+                self.misses += 1
+                frame = self._grab_frame()
+                frame.page_id = page_id
+                frame.data[:] = self.disk.read_page(page_id)
+                frame.dirty = False
+                self._table[page_id] = frame.index
+            frame.pin_count += 1
+            frame.referenced = True
+            return frame.data
 
     def new_page(self) -> tuple:
         """Allocate a fresh page, pinned; returns (page_id, bytes)."""
-        page_id = self.disk.allocate_page()
-        frame = self._grab_frame()
-        frame.page_id = page_id
-        frame.data[:] = bytes(self.disk.page_size)
-        frame.dirty = True
-        frame.pin_count = 1
-        frame.referenced = True
-        self._table[page_id] = frame.index
-        return page_id, frame.data
+        with self._lock:
+            page_id = self.disk.allocate_page()
+            frame = self._grab_frame()
+            frame.page_id = page_id
+            frame.data[:] = bytes(self.disk.page_size)
+            frame.dirty = True
+            frame.pin_count = 1
+            frame.referenced = True
+            self._table[page_id] = frame.index
+            self._bump_version(page_id)
+            return page_id, frame.data
 
     def unpin(self, page_id: int, dirty: bool = False) -> None:
-        frame = self._frame_of(page_id)
-        if frame.pin_count <= 0:
-            raise BufferPoolError(f"page {page_id} is not pinned")
-        frame.pin_count -= 1
-        if dirty:
-            frame.dirty = True
+        with self._lock:
+            frame = self._frame_of(page_id)
+            if frame.pin_count <= 0:
+                raise BufferPoolError(f"page {page_id} is not pinned")
+            frame.pin_count -= 1
+            if dirty:
+                frame.dirty = True
+                self._bump_version(page_id)
+
+    def _bump_version(self, page_id: int) -> None:
+        self._page_versions[page_id] = (
+            self._page_versions.get(page_id, 0) + 1
+        )
+
+    def page_version(self, page_id: int) -> int:
+        """Mutation counter for a page (0 = never dirtied via this pool)."""
+        with self._lock:
+            return self._page_versions.get(page_id, 0)
 
     @contextmanager
     def pinned(self, page_id: int, dirty: bool = False) -> Iterator[bytearray]:
@@ -102,32 +134,36 @@ class BufferPool:
     # -- write-back -------------------------------------------------------------
 
     def flush_page(self, page_id: int) -> None:
-        index = self._table.get(page_id)
-        if index is None:
-            return
-        frame = self._frames[index]
-        if frame.dirty:
-            self.disk.write_page(page_id, bytes(frame.data))
-            frame.dirty = False
+        with self._lock:
+            index = self._table.get(page_id)
+            if index is None:
+                return
+            frame = self._frames[index]
+            if frame.dirty:
+                self.disk.write_page(page_id, bytes(frame.data))
+                frame.dirty = False
 
     def flush_all(self) -> None:
-        for frame in self._frames:
-            if frame.page_id is not None and frame.dirty:
-                self.disk.write_page(frame.page_id, bytes(frame.data))
-                frame.dirty = False
+        with self._lock:
+            for frame in self._frames:
+                if frame.page_id is not None and frame.dirty:
+                    self.disk.write_page(frame.page_id, bytes(frame.data))
+                    frame.dirty = False
 
     def drop_page(self, page_id: int) -> None:
         """Forget a page (after it was freed on disk)."""
-        index = self._table.pop(page_id, None)
-        if index is not None:
-            frame = self._frames[index]
-            if frame.pin_count:
-                raise BufferPoolError(
-                    f"cannot drop pinned page {page_id}"
-                )
-            frame.page_id = None
-            frame.dirty = False
-            frame.referenced = False
+        with self._lock:
+            index = self._table.pop(page_id, None)
+            if index is not None:
+                frame = self._frames[index]
+                if frame.pin_count:
+                    raise BufferPoolError(
+                        f"cannot drop pinned page {page_id}"
+                    )
+                frame.page_id = None
+                frame.dirty = False
+                frame.referenced = False
+            self._page_versions.pop(page_id, None)
 
     # -- replacement --------------------------------------------------------------
 

@@ -145,8 +145,17 @@ class Catalog:
         self.tables: Dict[str, TableInfo] = {}
         self.udfs: Dict[str, UDFInfo] = {}
         self._lock = threading.RLock()
+        #: Schema epoch: bumped on every DDL / UDF registration change.
+        #: The shared plan cache keys on it, so any statement planned
+        #: against an older schema misses instead of serving stale
+        #: table/index/UDF resolutions.
+        self.epoch = 0
         if path is not None and os.path.exists(path):
             self._load()
+
+    def bump_epoch(self) -> None:
+        with self._lock:
+            self.epoch += 1
 
     # -- tables ------------------------------------------------------------
 
@@ -156,6 +165,7 @@ class Catalog:
             if key in self.tables:
                 raise CatalogError(f"table {table.name!r} already exists")
             self.tables[key] = table
+            self.epoch += 1
             self.save()
 
     def get_table(self, name: str) -> TableInfo:
@@ -171,6 +181,7 @@ class Catalog:
                 table = self.tables.pop(name.lower())
             except KeyError:
                 raise CatalogError(f"unknown table {name!r}") from None
+            self.epoch += 1
             self.save()
             return table
 
@@ -186,6 +197,7 @@ class Catalog:
             if key in self.udfs:
                 raise CatalogError(f"function {udf.name!r} already exists")
             self.udfs[key] = udf
+            self.epoch += 1
             self.save()
 
     def get_udf(self, name: str) -> UDFInfo:
@@ -199,6 +211,7 @@ class Catalog:
         with self._lock:
             if self.udfs.pop(name.lower(), None) is None:
                 raise CatalogError(f"unknown function {name!r}")
+            self.epoch += 1
             self.save()
 
     def has_udf(self, name: str) -> bool:

@@ -1,0 +1,172 @@
+"""Per-tenant admission control: fairness, hard caps, group budgets."""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.errors import AdmissionRefused, SecurityViolation
+from repro.server.admission import AdmissionController
+from repro.vm.threadgroups import ThreadGroupRegistry
+
+
+@pytest.fixture
+def pool():
+    executor = ThreadPoolExecutor(max_workers=4)
+    yield executor
+    executor.shutdown(wait=True)
+
+
+def serial_pool():
+    return ThreadPoolExecutor(max_workers=1)
+
+
+class TestBasics:
+    def test_submit_returns_result(self, pool):
+        controller = AdmissionController(pool)
+        assert controller.submit("a", lambda: 42).result(5) == 42
+        stats = controller.stats()
+        assert stats["admitted"] == 1 and stats["completed"] == 1
+
+    def test_thunk_exception_propagates(self, pool):
+        controller = AdmissionController(pool)
+        future = controller.submit("a", lambda: 1 / 0)
+        with pytest.raises(ZeroDivisionError):
+            future.result(5)
+        # The failed statement released its slot.
+        assert controller.submit("a", lambda: "ok").result(5) == "ok"
+
+    def test_parameters_validated(self, pool):
+        with pytest.raises(ValueError):
+            AdmissionController(pool, tenant_slots=0)
+        with pytest.raises(ValueError):
+            AdmissionController(pool, queue_cap=0)
+
+
+class TestHardCap:
+    def test_queue_cap_refuses_synchronously(self):
+        pool = serial_pool()
+        try:
+            controller = AdmissionController(
+                pool, tenant_slots=1, queue_cap=2
+            )
+            gate = threading.Event()
+            blocked = controller.submit("a", gate.wait)
+            q1 = controller.submit("a", lambda: 1)
+            q2 = controller.submit("a", lambda: 2)
+            with pytest.raises(AdmissionRefused):
+                controller.submit("a", lambda: 3)
+            assert controller.stats()["refused"] == 1
+            # Another tenant is not affected by a's full queue.
+            other = controller.submit("b", lambda: "b")
+            gate.set()
+            assert blocked.result(5) is True
+            assert q1.result(5) == 1 and q2.result(5) == 2
+            assert other.result(5) == "b"
+        finally:
+            gate.set()
+            pool.shutdown(wait=True)
+
+    def test_drained_queue_admits_again(self):
+        pool = serial_pool()
+        try:
+            controller = AdmissionController(
+                pool, tenant_slots=1, queue_cap=1
+            )
+            gate = threading.Event()
+            blocked = controller.submit("a", gate.wait)
+            controller.submit("a", lambda: 1)
+            with pytest.raises(AdmissionRefused):
+                controller.submit("a", lambda: 2)
+            gate.set()
+            blocked.result(5)
+            assert controller.submit("a", lambda: 3).result(5) == 3
+        finally:
+            gate.set()
+            pool.shutdown(wait=True)
+
+
+class TestFairness:
+    def test_round_robin_across_tenants(self):
+        """A tenant with a deep queue yields to a tenant with one item."""
+        pool = serial_pool()
+        order = []
+        gate = threading.Event()
+        try:
+            controller = AdmissionController(pool, tenant_slots=1)
+            blocked = controller.submit("a", gate.wait)
+            futures = [
+                controller.submit("a", lambda i=i: order.append(f"a{i}"))
+                for i in range(3)
+            ]
+            futures.append(
+                controller.submit("b", lambda: order.append("b0"))
+            )
+            gate.set()
+            blocked.result(5)
+            for future in futures:
+                future.result(5)
+            # b's single statement ran before a's backlog drained.
+            assert order.index("b0") < order.index("a2")
+        finally:
+            gate.set()
+            pool.shutdown(wait=True)
+
+    def test_tenant_slots_limit_concurrency(self, pool):
+        controller = AdmissionController(pool, tenant_slots=2)
+        running = []
+        peak = []
+        lock = threading.Lock()
+        gate = threading.Event()
+
+        def work(i):
+            with lock:
+                running.append(i)
+                peak.append(len(running))
+            gate.wait(5)
+            with lock:
+                running.remove(i)
+
+        futures = [
+            controller.submit("a", lambda i=i: work(i)) for i in range(6)
+        ]
+        # Let the first admissions start, then open the gate.
+        deadline = threading.Event()
+        deadline.wait(0.1)
+        gate.set()
+        for future in futures:
+            future.result(5)
+        assert max(peak) <= 2
+
+
+class TestThreadGroupIntegration:
+    def test_tenant_group_budgeted(self, pool):
+        groups = ThreadGroupRegistry()
+        controller = AdmissionController(pool, groups, tenant_slots=2)
+        controller.submit("acme", lambda: None).result(5)
+        group = groups.group_for("tenant:acme")
+        assert group.fuel_budget == 2
+
+    def test_killed_tenant_group_refuses(self, pool):
+        groups = ThreadGroupRegistry()
+        controller = AdmissionController(pool, groups)
+        controller.submit("acme", lambda: None).result(5)
+        # Kill the group object itself (still registered): further
+        # reservations against it die with SecurityViolation.
+        groups.group_for("tenant:acme").kill()
+        future = controller.submit("acme", lambda: "nope")
+        with pytest.raises(SecurityViolation):
+            future.result(5)
+        # Other tenants are untouched.
+        assert controller.submit("other", lambda: 7).result(5) == 7
+
+    def test_registry_kill_gives_fresh_group_next_time(self, pool):
+        """``ThreadGroupRegistry.kill`` pops the group (same semantics
+        as ``Database.kill_udf``): in-flight reservations die, but the
+        tenant's *next* statement gets a fresh group and is admitted."""
+        groups = ThreadGroupRegistry()
+        controller = AdmissionController(pool, groups, tenant_slots=2)
+        controller.submit("acme", lambda: None).result(5)
+        groups.kill("tenant:acme")
+        assert controller.submit("acme", lambda: 1).result(5) == 1
+        assert groups.group_for("tenant:acme").fuel_budget == 2

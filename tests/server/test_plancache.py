@@ -1,0 +1,138 @@
+"""Shared prepared-plan cache: LRU behaviour and structural invalidation."""
+
+import pytest
+
+from repro.database import Database
+from repro.sql.plancache import PlanCache
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute("CREATE TABLE nums (id INT, v FLOAT)")
+    database.execute("INSERT INTO nums VALUES (1, 1.5), (2, 2.5)")
+    yield database
+    database.close()
+
+
+class TestPlanCacheUnit:
+    def test_miss_then_hit(self):
+        cache = PlanCache()
+        assert cache.lookup("SELECT 1", (0,)) is None
+        cache.store("SELECT 1", (0,), "stmt", "plan")
+        assert cache.lookup("SELECT 1", (0,)) == ("stmt", "plan")
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+
+    def test_fingerprint_partitions_entries(self):
+        cache = PlanCache()
+        cache.store("SELECT 1", (0,), "s0", "p0")
+        assert cache.lookup("SELECT 1", (1,)) is None
+
+    def test_stale_fingerprint_entry_dropped_on_store(self):
+        cache = PlanCache()
+        cache.store("SELECT 1", (0,), "s0", "p0")
+        cache.store("SELECT 1", (1,), "s1", "p1")
+        assert len(cache) == 1
+        assert cache.stats()["invalidations"] == 1
+        assert cache.lookup("SELECT 1", (1,)) == ("s1", "p1")
+
+    def test_lru_eviction(self):
+        cache = PlanCache(capacity=2)
+        cache.store("a", (0,), 1, 1)
+        cache.store("b", (0,), 2, 2)
+        cache.lookup("a", (0,))  # refresh a; b is now LRU
+        cache.store("c", (0,), 3, 3)
+        assert cache.lookup("b", (0,)) is None
+        assert cache.lookup("a", (0,)) is not None
+        assert cache.stats()["evictions"] == 1
+
+    def test_clear_counts_invalidations(self):
+        cache = PlanCache()
+        cache.store("a", (0,), 1, 1)
+        cache.store("b", (0,), 2, 2)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats()["invalidations"] == 2
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            PlanCache(capacity=0)
+
+
+class TestDatabaseIntegration:
+    SQL = "SELECT id, v FROM nums ORDER BY id"
+
+    def test_repeat_read_hits_cache(self, db):
+        first = db.execute_read(self.SQL).rows
+        second = db.execute_read(self.SQL).rows
+        assert first == second == [(1, 1.5), (2, 2.5)]
+        stats = db.plan_cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+
+    def test_ddl_bumps_epoch_and_misses(self, db):
+        db.execute_read(self.SQL)
+        before = db.settings_fingerprint()
+        db.execute("CREATE TABLE other (a INT)")
+        after = db.settings_fingerprint()
+        assert after != before  # schema epoch moved
+        db.execute_read(self.SQL)
+        assert db.plan_cache.stats()["hits"] == 0
+
+    def test_create_function_invalidates(self, db):
+        db.execute_read(self.SQL)
+        db.execute(
+            "CREATE FUNCTION plus1(int) RETURNS int LANGUAGE JAGUAR "
+            "DESIGN SANDBOX AS "
+            "'def plus1(x: int) -> int: return x + 1'"
+        )
+        # Same text re-planned under the new epoch; the superseded
+        # entry is dropped when the fresh plan is stored.
+        db.execute_read(self.SQL)
+        stats = db.plan_cache.stats()
+        assert stats["hits"] == 0
+        assert stats["misses"] == 2
+        assert stats["invalidations"] == 1
+        assert stats["entries"] == 1
+
+    def test_settings_change_misses(self, db):
+        db.execute_read(self.SQL)
+        db.inlining = True
+        db.execute_read(self.SQL)
+        # Same-text entries for superseded fingerprints are dropped
+        # eagerly on store, so the cache never holds both.
+        stats = db.plan_cache.stats()
+        assert stats["hits"] == 0
+        assert stats["invalidations"] == 1
+        assert stats["entries"] == 1
+        db.execute_read(self.SQL)  # same settings: now a hit
+        assert db.plan_cache.stats()["hits"] == 1
+
+    def test_writes_fall_through_uncached(self, db):
+        db.execute_read("INSERT INTO nums VALUES (3, 3.5)")
+        assert len(db.plan_cache) == 0
+        assert db.execute("SELECT count(*) FROM nums").rows == [(3,)]
+
+    def test_adaptive_mode_bypasses_cache(self):
+        database = Database(adaptive=True)
+        try:
+            database.execute("CREATE TABLE t (a INT)")
+            database.execute("INSERT INTO t VALUES (1)")
+            database.execute_read("SELECT a FROM t")
+            database.execute_read("SELECT a FROM t")
+            stats = database.plan_cache.stats()
+            assert stats["hits"] == 0 and stats["misses"] == 0
+            assert len(database.plan_cache) == 0
+        finally:
+            database.close()
+
+    def test_cached_plan_correct_with_udf(self, db):
+        db.execute(
+            "CREATE FUNCTION twice(float) RETURNS float LANGUAGE JAGUAR "
+            "DESIGN SANDBOX AS "
+            "'def twice(x: float) -> float: return x * 2.0'"
+        )
+        sql = "SELECT twice(v) FROM nums WHERE id = 1"
+        assert db.execute_read(sql).rows == [(3.0,)]
+        assert db.execute_read(sql).rows == [(3.0,)]
+        assert db.plan_cache.stats()["hits"] == 1

@@ -37,7 +37,7 @@ from .core.udf import (
     UDFRegistry,
     UDFSignature,
 )
-from .errors import PlanError, RecordError
+from .errors import PlanError, RecordError, SimulatedCrash, WALError
 from .sql import ast_nodes as A
 from .sql.executor import QueryResult, StatementExecutor
 from .sql.parser import parse_script, parse_statement
@@ -48,6 +48,7 @@ from .storage.catalog import Catalog, TableInfo, UDFInfo
 from .storage.disk import DiskManager
 from .storage.heapfile import HeapFile
 from .storage.lob import LOBManager, LOBRef
+from .storage.wal import NO_FAULTS, WriteAheadLog
 from .sql.operators import DEFAULT_BATCH_SIZE
 from .storage.record import ColumnType, serialize_record
 from .vm.machine import JaguarVM
@@ -75,19 +76,46 @@ class Database:
         inlining: bool = False,
         tiering: bool = False,
         tier1_threshold: Optional[int] = None,
+        wal: Optional[bool] = None,
+        group_commit_window: float = 0.0,
+        faults=None,
     ):
         self.path = path
         if path is None:
             data_path = None
             catalog_path = None
+            wal_path = None
         else:
             os.makedirs(path, exist_ok=True)
             data_path = os.path.join(path, "data.pages")
             catalog_path = os.path.join(path, "catalog.json")
-        self.disk = DiskManager(data_path, page_size=page_size)
+            wal_path = os.path.join(path, "wal.log")
+        #: Durability defaults to "on iff persistent": a path-backed
+        #: database gets a write-ahead log (``path/wal.log``) and crash
+        #: recovery on open; an in-memory one has nothing to recover.
+        use_wal = (path is not None) if wal is None else bool(wal)
+        if use_wal and path is None:
+            raise ValueError("WAL requires a path-backed database")
+        self.disk = DiskManager(
+            data_path, page_size=page_size, wal_mode=use_wal, faults=faults
+        )
+        self.wal: Optional[WriteAheadLog] = None
+        if use_wal:
+            self.wal = WriteAheadLog(
+                wal_path,
+                group_window=group_commit_window,
+                faults=faults if faults is not None else NO_FAULTS,
+            )
+            # Recovery must precede the buffer pool and catalog: it
+            # rewrites data pages and the catalog sidecar underneath.
+            self.wal.recover(self.disk, catalog_path)
         self.pool = BufferPool(self.disk, capacity=buffer_capacity)
+        if self.wal is not None:
+            self.pool.attach_wal(self.wal)
         self.lobs = LOBManager(self.pool)
-        self.catalog = Catalog(catalog_path)
+        self.catalog = Catalog(
+            catalog_path, deferred=use_wal, on_change=self._catalog_changed
+        )
         self.lob_threshold = lob_threshold
 
         self.broker = CallbackBroker()
@@ -124,11 +152,18 @@ class Database:
         self.observability = Observability(metrics=metrics, adaptive=adaptive)
         self.registry = UDFRegistry(self.environment)
         self._executor = StatementExecutor(self)
-        #: Single-writer serialization: every mutating statement (DDL,
-        #: DML, CREATE/DROP FUNCTION) runs under this lock.  Uncontended
-        #: in embedded use; the concurrent server relies on it plus
-        #: :attr:`snapshots` for its readers-never-block protocol.
+        #: DDL serialization: schema-shaped statements (CREATE/DROP
+        #: TABLE, CREATE INDEX, CREATE/DROP FUNCTION) run under this
+        #: lock.  DML takes only its table's write lock
+        #: (:meth:`table_write_lock`), so writers on disjoint tables run
+        #: concurrently; lock order is always table < write < commit.
         self._write_lock = threading.RLock()
+        #: Publish serialization: WAL append + MVCC snapshot install +
+        #: catalog capture happen atomically under this lock, giving
+        #: commit records a global order even with per-table writers.
+        self._commit_lock = threading.RLock()
+        self._table_locks: dict = {}
+        self._table_locks_guard = threading.Lock()
         #: MVCC-lite snapshot store (disabled by default — see
         #: :mod:`repro.storage.mvcc`).  The concurrent server enables it
         #: before accepting connections: ``db.snapshots.enable(db)``.
@@ -139,6 +174,8 @@ class Database:
         #: the catalog epoch) invalidate structurally.
         self.plan_cache = PlanCache()
         self._stats_sources: dict = {}
+        if self.wal is not None:
+            self._stats_sources["wal"] = self.wal.stats
         self._reload_udfs()
 
     @property
@@ -209,7 +246,7 @@ class Database:
     # -- SQL entry points ------------------------------------------------------
 
     #: Statement classes that mutate storage or the catalog and so run
-    #: under the single-writer lock.
+    #: through the write pipeline (:meth:`_run_write`).
     _WRITE_STATEMENTS = (
         A.CreateTable, A.DropTable, A.CreateIndex,
         A.Insert, A.Update, A.Delete,
@@ -221,7 +258,8 @@ class Database:
         return self.execute_statement(parse_statement(sql))
 
     def execute_statement(self, statement: "A.Statement") -> QueryResult:
-        """Run one parsed statement, serializing writes.
+        """Run one parsed statement through the write pipeline if it
+        mutates.
 
         Reads take no lock at all — with snapshots disabled (embedded
         default) that is exactly the seed single-threaded behaviour;
@@ -229,12 +267,106 @@ class Database:
         :meth:`execute_read` instead.
         """
         if isinstance(statement, self._WRITE_STATEMENTS):
-            with self._write_lock:
-                try:
-                    return self._executor.execute(statement)
-                finally:
-                    self._install_after_write(statement)
+            return self._run_write(
+                self._write_locks(statement),
+                lambda: self._executor.execute(statement),
+                lambda: self._install_after_write(statement),
+            )
         return self._executor.execute(statement)
+
+    # -- write pipeline -------------------------------------------------------
+
+    def table_write_lock(self, name: str) -> threading.RLock:
+        """The write lock for one table (created on first use, kept for
+        the database's lifetime — a dropped-and-recreated table reuses
+        its lock, which is harmless and race-free)."""
+        key = name.lower()
+        with self._table_locks_guard:
+            lock = self._table_locks.get(key)
+            if lock is None:
+                lock = self._table_locks[key] = threading.RLock()
+            return lock
+
+    def _write_locks(self, statement: "A.Statement") -> list:
+        """The ordered lock set for one mutating statement.
+
+        DML locks only its table.  DDL locks the affected table (if
+        any) plus the global :attr:`_write_lock`; taking the table lock
+        *first* keeps the global order table < write < commit, so DML
+        (table → commit) and DDL (table → write → commit) never deadlock.
+        """
+        if isinstance(statement, (A.Insert, A.Update, A.Delete)):
+            return [self.table_write_lock(statement.table)]
+        locks = []
+        if isinstance(statement, (A.CreateTable, A.DropTable)):
+            locks.append(self.table_write_lock(statement.name))
+        elif isinstance(statement, A.CreateIndex):
+            locks.append(self.table_write_lock(statement.table))
+        locks.append(self._write_lock)
+        return locks
+
+    def _run_write(self, locks: list, body, install):
+        """Execute one mutating operation with WAL durability.
+
+        The sequence: take the statement's locks, attribute dirty pages
+        to this thread, run ``body``, then publish under the commit
+        lock (log the statement's page images + catalog blob, install
+        the MVCC snapshot), release everything, and only then wait for
+        the commit fsync (group commit happens outside all locks, so a
+        sleeping leader never blocks other tables' writers).
+
+        A statement that fails *logically* (constraint violation,
+        unknown column) still commits its partial page effects — the
+        engine is statement-deterministic, so replaying the same
+        statement fails identically, and recovery reproduces the exact
+        crashed state.  A statement killed by an injected crash commits
+        nothing.
+        """
+        for lock in locks:
+            lock.acquire()
+        tracker = self.pool.begin_tracking() if self.wal is not None else None
+        commit_lsn = None
+        error = None
+        result = None
+        try:
+            try:
+                result = body()
+            except (SimulatedCrash, WALError):
+                # Storage died mid-statement: publish nothing.
+                raise
+            except Exception as exc:
+                error = exc
+            with self._commit_lock:
+                if self.wal is not None:
+                    commit_lsn = self._log_statement(tracker)
+                install()
+        finally:
+            if tracker is not None:
+                self.pool.end_tracking(tracker)
+            for lock in reversed(locks):
+                lock.release()
+        if commit_lsn is not None:
+            self.wal.commit_wait(commit_lsn)
+        if error is not None:
+            raise error
+        return result
+
+    def _log_statement(self, tracker) -> int:
+        """Append one statement's redo batch (caller holds the commit
+        lock, so the page images + catalog + geometry are a consistent
+        cut)."""
+        images = self.pool.collect_images(tracker)
+        blob = self.catalog.serialize() if tracker.catalog_dirty else None
+        lsn = self.wal.log_statement(images, blob, self.disk.geometry())
+        self.pool.note_logged([pid for pid, _ in images], lsn)
+        return lsn
+
+    def _catalog_changed(self) -> None:
+        """Deferred-catalog notification: the running statement changed
+        schema/UDF state, so its commit must log the catalog blob."""
+        tracker = self.pool.current_tracker()
+        if tracker is not None:
+            tracker.catalog_dirty = True
 
     def execute_read(self, sql: str) -> QueryResult:
         """Run one read-only statement, concurrency-safe.
@@ -288,9 +420,10 @@ class Database:
     def _install_after_write(self, statement: "A.Statement") -> None:
         """Freeze the written table's new state for snapshot readers.
 
-        Runs under the write lock, even when the statement failed —
-        a partially applied DML still dirtied pages, and the next
-        snapshot must see what live reads would.
+        Runs under the commit lock (inside :meth:`_run_write`), even
+        when the statement failed — a partially applied DML still
+        dirtied pages, and the next snapshot must see what live reads
+        would.
         """
         if not self.snapshots.enabled:
             return
@@ -341,28 +474,39 @@ class Database:
     def insert_rows(
         self, table_name: str, rows: Iterable[Sequence[object]]
     ) -> int:
-        """Bulk-insert host values, bypassing the SQL parser."""
+        """Bulk-insert host values, bypassing the SQL parser.
+
+        The whole batch is one unit of the write pipeline: one commit
+        record, one fsync (a crash either keeps the entire batch or
+        none of it — plus the deterministic partial prefix if a row
+        fails logically, same as the seed).
+        """
         table = self.catalog.get_table(table_name)
         count = 0
-        with self._write_lock:
-            try:
-                for row in rows:
-                    self._insert_row_locked(table, list(row))
-                    count += 1
-            finally:
-                self.snapshots.install(
-                    self.pool, table.name, table.first_page
-                )
+
+        def body():
+            nonlocal count
+            for row in rows:
+                self._insert_row_locked(table, list(row))
+                count += 1
+
+        self._run_write(
+            [self.table_write_lock(table.name)],
+            body,
+            lambda: self.snapshots.install(
+                self.pool, table.name, table.first_page
+            ),
+        )
         return count
 
     def insert_row(self, table: TableInfo, values: List[object]) -> None:
-        with self._write_lock:
-            try:
-                self._insert_row_locked(table, values)
-            finally:
-                self.snapshots.install(
-                    self.pool, table.name, table.first_page
-                )
+        self._run_write(
+            [self.table_write_lock(table.name)],
+            lambda: self._insert_row_locked(table, values),
+            lambda: self.snapshots.install(
+                self.pool, table.name, table.first_page
+            ),
+        )
 
     def _insert_row_locked(
         self, table: TableInfo, values: List[object]
@@ -409,26 +553,48 @@ class Database:
     def register_udf(
         self, definition: UDFDefinition, persist: bool = True
     ) -> None:
-        """Admit a UDF (validating its payload) and persist it."""
-        self.registry.register(definition)
-        if persist:
-            self.catalog.add_udf(
-                UDFInfo(
-                    name=definition.name,
-                    language=definition.language,
-                    design=definition.design.value,
-                    entry=definition.entry,
-                    payload=definition.payload,
-                    param_types=list(definition.signature.param_types),
-                    ret_type=definition.signature.ret_type,
-                    callbacks=list(definition.callbacks),
+        """Admit a UDF (validating its payload) and persist it.
+
+        Registration is a catalog mutation, so on a WAL-backed database
+        a *direct* call (not via CREATE FUNCTION, which is already
+        inside the write pipeline) runs through the pipeline itself —
+        otherwise the catalog change would never reach the log.
+        """
+
+        def body():
+            self.registry.register(definition)
+            if persist:
+                self.catalog.add_udf(
+                    UDFInfo(
+                        name=definition.name,
+                        language=definition.language,
+                        design=definition.design.value,
+                        entry=definition.entry,
+                        payload=definition.payload,
+                        param_types=list(definition.signature.param_types),
+                        ret_type=definition.signature.ret_type,
+                        callbacks=list(definition.callbacks),
+                    )
                 )
-            )
+
+        if (
+            self.wal is not None and persist
+            and self.pool.current_tracker() is None
+        ):
+            self._run_write([self._write_lock], body, lambda: None)
+        else:
+            body()
 
     def unregister_udf(self, name: str) -> None:
-        self.registry.unregister(name)
-        if self.catalog.has_udf(name):
-            self.catalog.drop_udf(name)
+        def body():
+            self.registry.unregister(name)
+            if self.catalog.has_udf(name):
+                self.catalog.drop_udf(name)
+
+        if self.wal is not None and self.pool.current_tracker() is None:
+            self._run_write([self._write_lock], body, lambda: None)
+        else:
+            body()
 
     def kill_udf(self, name: str) -> None:
         """Revoke a (sandboxed) UDF's running invocations (Section 6.1).
@@ -462,16 +628,76 @@ class Database:
 
     # -- lifecycle -----------------------------------------------------------------------
 
+    @property
+    def group_commit_window(self) -> float:
+        """Seconds the group-commit leader waits for followers.
+
+        Mutable at runtime (``db.group_commit_window = 0.002``) — the
+        next commit fsync picks it up, which is how the benchmark
+        sweeps windows over one populated database.  0.0 syncs every
+        statement individually (still correct, just more fsyncs).
+        """
+        return self.wal.group_window if self.wal is not None else 0.0
+
+    @group_commit_window.setter
+    def group_commit_window(self, value: float) -> None:
+        if self.wal is None:
+            raise ValueError(
+                "group commit requires a WAL-backed (path) database"
+            )
+        if value < 0:
+            raise ValueError(
+                f"group_commit_window must be >= 0, got {value}"
+            )
+        self.wal.group_window = float(value)
+
+    def checkpoint(self) -> None:
+        """Flush everything the WAL describes and truncate the log.
+
+        Order matters: make the log durable to its tail (so every
+        handed-out commit LSN retires), write back all logged dirty
+        pages, settle the data file to exactly the committed geometry,
+        persist the catalog sidecar, and only then truncate the log.
+        A crash anywhere in between recovers correctly — redo is
+        idempotent over already-flushed pages.  Runs under the commit
+        lock, so no statement can publish mid-checkpoint.
+        """
+        if self.wal is None:
+            self.flush()
+            return
+        with self._commit_lock:
+            self.wal.ensure_durable(self.wal.tail_lsn())
+            self.pool.flush_all()
+            self.disk.settle()
+            self.catalog.save(force=True)
+            self.wal.truncate()
+
     def flush(self) -> None:
+        if self.wal is not None:
+            self.checkpoint()
+            return
         self.pool.flush_all()
         self.disk.sync()
         self.catalog.save()
 
     def close(self) -> None:
+        """Shut down cleanly: a WAL-backed database checkpoints, so the
+        log is empty, the data file settled, and reopen recovers
+        nothing.  (After an injected crash the storage layer is dead;
+        close skips the checkpoint and recovery owns the state.)"""
         self.registry.close()
         if self.disk is not None:
-            self.pool.flush_all()
-            self.disk.close()
+            if self.wal is not None:
+                try:
+                    self.checkpoint()
+                except (SimulatedCrash, WALError):
+                    pass  # crashed storage: state belongs to recovery
+                finally:
+                    self.wal.close()
+                self.disk.close()
+            else:
+                self.pool.flush_all()
+                self.disk.close()
 
     def __enter__(self) -> "Database":
         return self

@@ -42,6 +42,26 @@ class IndexError_(StorageError):
     """A B+-tree operation failed (duplicate key where unique required...)."""
 
 
+class WALError(StorageError):
+    """The write-ahead log hit an I/O problem (e.g. a failed fsync).
+
+    A failed fsync means a commit cannot honestly be acknowledged; the
+    log marks itself dead and every subsequent operation raises, so the
+    engine stops accepting writes instead of losing them silently.
+    """
+
+
+class SimulatedCrash(StorageError):
+    """An injected fault killed the storage layer mid-operation.
+
+    Raised by :class:`~repro.storage.wal.FaultPoint` implementations in
+    the fault-injection test harness to model a process death at an
+    arbitrary write.  Once raised, the WAL/disk managers refuse all
+    further work (a dead process does not keep writing); the harness
+    then reopens the database files to exercise crash recovery.
+    """
+
+
 # ---------------------------------------------------------------------------
 # SQL layer
 # ---------------------------------------------------------------------------

@@ -305,11 +305,11 @@ class AsyncDatabaseServer:
 
     def _register_udf(self, session: Session, payload: bytes) -> None:
         definition = build_udf_definition(session, payload)
-        with self.database._write_lock:
-            # Classfile bytes re-verify at registration (never trust the
-            # client); the catalog write bumps the schema epoch, so every
-            # cached plan from before this UDF existed stops hitting.
-            self.database.register_udf(definition)
+        # Classfile bytes re-verify at registration (never trust the
+        # client); the catalog write bumps the schema epoch, so every
+        # cached plan from before this UDF existed stops hitting.
+        # register_udf serializes itself (write pipeline / DDL lock).
+        self.database.register_udf(definition)
 
     # -- introspection -----------------------------------------------------
 
@@ -327,4 +327,8 @@ class AsyncDatabaseServer:
             data["admission"] = self.admission.stats()
         data["plan_cache"] = self.database.plan_cache.stats()
         data["snapshots"] = self.database.snapshots.stats()
+        if self.database.wal is not None:
+            # Group-commit effectiveness next to the admission counters:
+            # batched writer wakeups show up as mean/max fsync batch.
+            data["wal"] = self.database.wal.stats()
         return data

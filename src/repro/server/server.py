@@ -254,12 +254,15 @@ class DatabaseServer:
     def stats_snapshot(self) -> dict:
         """Server counters (attachable via ``db.attach_stats_source``)."""
         with self._state_lock:
-            return {
+            data = {
                 "kind": "threaded",
                 "sessions_served": self.sessions_served,
                 "open_connections": len(self._client_conns),
                 "busy_statements": self._busy,
             }
+        if self.database.wal is not None:
+            data["wal"] = self.database.wal.stats()
+        return data
 
     def _materialize(self, rows):
         """Back-compat alias for :func:`materialize_rows`."""

@@ -650,11 +650,12 @@ class StatementExecutor:
         resolver = FunctionResolver()
         runtime = QueryRuntime(lobs=self.db.lobs)
         count = 0
-        # All rows of one INSERT go in under one write-lock hold and
-        # *without* per-row snapshot installs: the statement-level
-        # install happens once when the statement finishes, so snapshot
-        # readers see a multi-row INSERT atomically.
-        with self.db._write_lock:
+        # All rows of one INSERT go in under one hold of the table's
+        # write lock and *without* per-row snapshot installs: the
+        # statement-level install happens once when the statement
+        # finishes, so snapshot readers see a multi-row INSERT
+        # atomically.  (Reentrant: the write pipeline already holds it.)
+        with self.db.table_write_lock(table.name):
             for value_exprs in statement.rows:
                 if len(value_exprs) != len(positions):
                     raise PlanError(

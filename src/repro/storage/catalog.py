@@ -138,10 +138,24 @@ class UDFInfo:
 
 
 class Catalog:
-    """In-memory catalog with explicit save/load."""
+    """In-memory catalog with explicit save/load.
 
-    def __init__(self, path: Optional[str] = None):
+    With ``deferred=True`` (set by a WAL-backed database) the eager
+    ``save()`` calls sprinkled through DDL paths stop writing the
+    sidecar file directly — each becomes a notification (``on_change``)
+    so the current statement is marked catalog-dirty; the statement's
+    commit then logs the full serialized catalog in the WAL, and the
+    sidecar file itself is rewritten only at checkpoints
+    (``save(force=True)``).  Crash recovery restores it from the last
+    committed CATALOG record, so an in-place sidecar write can never
+    expose uncommitted DDL.
+    """
+
+    def __init__(self, path: Optional[str] = None, deferred: bool = False,
+                 on_change=None):
         self.path = path
+        self.deferred = deferred
+        self.on_change = on_change
         self.tables: Dict[str, TableInfo] = {}
         self.udfs: Dict[str, UDFInfo] = {}
         self._lock = threading.RLock()
@@ -220,17 +234,27 @@ class Catalog:
 
     # -- persistence ---------------------------------------------------------------
 
-    def save(self) -> None:
-        if self.path is None:
-            return
+    def serialize(self) -> bytes:
+        """The catalog's persistent form, for WAL CATALOG records."""
         with self._lock:
             blob = {
                 "tables": [t.to_json() for t in self.tables.values()],
                 "udfs": [u.to_json() for u in self.udfs.values()],
             }
+            return json.dumps(blob, indent=1).encode("utf-8")
+
+    def save(self, force: bool = False) -> None:
+        if self.path is None:
+            return
+        if self.deferred and not force:
+            if self.on_change is not None:
+                self.on_change()
+            return
+        with self._lock:
+            data = self.serialize()
             tmp = self.path + ".tmp"
-            with open(tmp, "w", encoding="utf-8") as handle:
-                json.dump(blob, handle, indent=1)
+            with open(tmp, "wb") as handle:
+                handle.write(data)
             os.replace(tmp, self.path)
 
     def _load(self) -> None:

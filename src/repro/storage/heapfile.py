@@ -134,5 +134,4 @@ class HeapFile:
         """Free every page of the file."""
         page_ids = list(self.pages())
         for page_id in page_ids:
-            self.pool.drop_page(page_id)
-            self.pool.disk.free_page(page_id)
+            self.pool.free_page(page_id)

@@ -123,8 +123,7 @@ class LOBManager:
         while page_id != NO_PAGE:
             with self.pool.pinned(page_id) as page:
                 (next_page,) = struct.unpack_from("<I", page, 0)
-            self.pool.drop_page(page_id)
-            self.pool.disk.free_page(page_id)
+            self.pool.free_page(page_id)
             page_id = next_page
 
     # -- handle view -------------------------------------------------------------

@@ -6,11 +6,14 @@ results bit-identical to a serial execution.  The mechanism here is a
 small multi-version store over the existing heap files:
 
 * Every table carries a **version** (epoch counter).  A write statement
-  mutates the live heap pages under the database write lock and then
+  mutates the live heap pages under its table's write lock and then
   *installs* a new frozen image of the table — copying only the pages
   whose :meth:`~repro.storage.buffer.BufferPool.page_version` mutation
   counter changed, i.e. copy-on-write at page granularity — and bumps
-  the version.
+  the version.  Installs run under the database commit lock (one
+  publisher at a time, even with per-table writers), and the writer
+  still holds its table lock, so an image is always a statement-
+  consistent cut of that table.
 * A read statement **pins a snapshot**: an immutable map of table →
   (version, frozen image) taken atomically under the manager lock.
   Scans under a snapshot iterate the frozen page bytes directly and
@@ -79,8 +82,9 @@ def _capture_chain(
 ) -> List[Tuple[int, int, bytearray]]:
     """Copy a heap-file page chain, reusing unchanged pages.
 
-    Runs under the database write lock (install) or before any
-    concurrency exists (enable), so the chain cannot move underneath it.
+    Runs under the writing statement's table lock + the commit lock
+    (install) or before any concurrency exists (enable), so the chain
+    cannot move underneath it.
     """
     reusable: Dict[int, Tuple[int, int, bytearray]] = {}
     if previous is not None:
@@ -115,8 +119,8 @@ class Snapshot:
     def image_for(self, table_name: str) -> Optional[TableImage]:
         """The pinned image, or None for tables created after the pin
         (a scan of such a table reads the live heap — it cannot have
-        been mutated concurrently, since DDL and DML are serialized
-        behind the write lock and this snapshot's statement was admitted
+        been mutated concurrently, since writes to it serialize behind
+        its table write lock and this snapshot's statement was admitted
         before the table existed only in error cases)."""
         return self._images.get(table_name.lower())
 
@@ -175,7 +179,8 @@ class SnapshotManager:
         """Freeze the table's post-write state as the new current image.
 
         Called by the writer at the end of a write statement, still
-        under the database write lock.  Copies only pages whose
+        under its table write lock and the commit lock (inside the
+        write pipeline's publish step).  Copies only pages whose
         mutation counters moved; unchanged pages are shared with the
         previous image by reference.
         """

@@ -15,6 +15,16 @@ Layout::
 
 ``offset == 0`` marks a tombstone (no live record starts inside the
 header, so 0 is never a valid offset).
+
+Note there is deliberately **no on-page LSN field**: the write-ahead log
+(:mod:`repro.storage.wal`) logs *full page images*, so redo never needs
+to compare a page's progress against a log record — replaying a
+committed prefix overwrites pages wholesale and is idempotent.  The
+"page LSN" the WAL rule needs (no dirty page reaches the data file
+before its image is durable in the log) is therefore *frame* metadata,
+tracked per buffer-pool frame (``rec_lsn`` in
+:class:`~repro.storage.buffer.BufferPool`), and the seed's on-page
+layout is preserved bit for bit.
 """
 
 from __future__ import annotations

@@ -162,6 +162,13 @@ class Database:
         #: catalog capture happen atomically under this lock, giving
         #: commit records a global order even with per-table writers.
         self._commit_lock = threading.RLock()
+        if use_wal:
+            # Free-list pops (page allocation) must serialize with
+            # publishes: the free list and geometry only ever change at
+            # commit granularity, so a commit record's geometry never
+            # names free-list state another statement hasn't durably
+            # logged.  See DiskManager.publish_lock.
+            self.disk.publish_lock = self._commit_lock
         self._table_locks: dict = {}
         self._table_locks_guard = threading.Lock()
         #: MVCC-lite snapshot store (disabled by default — see
@@ -354,7 +361,14 @@ class Database:
     def _log_statement(self, tracker) -> int:
         """Append one statement's redo batch (caller holds the commit
         lock, so the page images + catalog + geometry are a consistent
-        cut)."""
+        cut).
+
+        Buffered frees are applied first: the freed pages join the
+        free list only now, as tracked page dirties, so the geometry
+        this commit records is backed by chain-pointer images in this
+        very batch — never by another statement's unlogged frames.
+        """
+        self.pool.publish_frees(tracker)
         images = self.pool.collect_images(tracker)
         blob = self.catalog.serialize() if tracker.catalog_dirty else None
         lsn = self.wal.log_statement(images, blob, self.disk.geometry())
@@ -424,6 +438,16 @@ class Database:
         when the statement failed — a partially applied DML still
         dirtied pages, and the next snapshot must see what live reads
         would.
+
+        Visibility deliberately precedes durability: the install
+        happens after the WAL append but before the commit fsync, so
+        with a nonzero :attr:`group_commit_window` other sessions can
+        read a statement whose log records a crash would still erase
+        (the writer itself is never acknowledged before its fsync).
+        This is the classic asynchronous-commit trade — PostgreSQL's
+        ``synchronous_commit=off`` has the same window — chosen here
+        so snapshot installs keep the commit-lock ordering without
+        making every reader wait on the group-commit leader's sleep.
         """
         if not self.snapshots.enabled:
             return
@@ -476,27 +500,46 @@ class Database:
     ) -> int:
         """Bulk-insert host values, bypassing the SQL parser.
 
-        The whole batch is one unit of the write pipeline: one commit
-        record, one fsync (a crash either keeps the entire batch or
-        none of it — plus the deterministic partial prefix if a row
-        fails logically, same as the seed).
+        On a WAL-backed database the batch is chunked into commit
+        units bounded by the buffer pool: a statement's dirty pages
+        are unevictable until its commit is logged, so one unit must
+        fit in the pool (an unchunked million-row batch would exhaust
+        the frames mid-flight).  Each chunk is one commit record and
+        one fsync; a crash keeps a committed prefix of whole chunks
+        (plus the deterministic partial chunk if a row fails
+        logically, same as the seed).  Without a WAL the whole batch
+        is a single unit, byte-identical to the seed.
         """
         table = self.catalog.get_table(table_name)
         count = 0
+        iterator = iter(rows)
+        # Leave headroom below capacity for pinned frames and the
+        # pages a single row can touch (heap chain + LOB spill).
+        budget = max(8, (self.pool.capacity * 3) // 4)
+        exhausted = False
 
         def body():
-            nonlocal count
-            for row in rows:
+            nonlocal count, exhausted
+            tracker = self.pool.current_tracker()
+            while True:
+                try:
+                    row = next(iterator)
+                except StopIteration:
+                    exhausted = True
+                    return
                 self._insert_row_locked(table, list(row))
                 count += 1
+                if tracker is not None and len(tracker.pages) >= budget:
+                    return  # commit this unit; continue in the next
 
-        self._run_write(
-            [self.table_write_lock(table.name)],
-            body,
-            lambda: self.snapshots.install(
-                self.pool, table.name, table.first_page
-            ),
-        )
+        while not exhausted:
+            self._run_write(
+                [self.table_write_lock(table.name)],
+                body,
+                lambda: self.snapshots.install(
+                    self.pool, table.name, table.first_page
+                ),
+            )
         return count
 
     def insert_row(self, table: TableInfo, values: List[object]) -> None:
@@ -636,6 +679,12 @@ class Database:
         next commit fsync picks it up, which is how the benchmark
         sweeps windows over one populated database.  0.0 syncs every
         statement individually (still correct, just more fsyncs).
+
+        A nonzero window widens the visible-before-durable gap for
+        *other* sessions: a commit becomes readable (MVCC install) as
+        soon as it publishes, up to a window before its fsync lands
+        (see :meth:`_install_after_write`).  The writer itself always
+        blocks until its commit LSN is durable.
         """
         return self.wal.group_window if self.wal is not None else 0.0
 
@@ -688,13 +737,22 @@ class Database:
         self.registry.close()
         if self.disk is not None:
             if self.wal is not None:
+                clean = False
                 try:
                     self.checkpoint()
+                    clean = True
                 except (SimulatedCrash, WALError):
                     pass  # crashed storage: state belongs to recovery
                 finally:
                     self.wal.close()
-                self.disk.close()
+                # After a crashed checkpoint, close the data file
+                # without syncing: the in-memory header may hold
+                # geometry from a crashed, uncommitted statement, and
+                # in WAL mode only checkpoint/recovery may write the
+                # header — a header flushed here would survive reopen
+                # whenever the log holds no complete committed
+                # statement to restore it from.
+                self.disk.close(sync=clean)
             else:
                 self.pool.flush_all()
                 self.disk.close()

@@ -33,6 +33,11 @@ image is durable in the log:
   unflushable.  Dirty pages are attributed to the statement through a
   per-thread :class:`DirtyTracker` (write statements are single-threaded
   below the operator tree, so thread identity is statement identity).
+* Page frees are buffered in the tracker too (:meth:`free_page` only
+  records them): the shared free list moves at *commit* granularity.
+  At publish time :meth:`publish_frees` threads the freed pages onto
+  the list as ordinary tracked dirties, so their chain-pointer images
+  land in the same WAL batch as the commit record naming the new head.
 * At commit the database logs full images of the tracker's pages and
   stamps the frames with the record LSN (:meth:`note_logged`); from then
   on eviction/flush first ensures the log is durable up to that LSN
@@ -64,14 +69,19 @@ class DirtyTracker:
 
     ``pages`` collects every page the statement dirtied (in first-touch
     order — the WAL replays images in logged order, so determinism
-    matters); ``catalog_dirty`` is set by the deferred catalog when the
-    statement changed schema or UDF registrations.
+    matters); ``freed`` collects the pages it returned to the free list
+    (in free order — applied to the disk manager only at publish time,
+    see :meth:`BufferPool.publish_frees`, so the shared free list never
+    reflects an uncommitted statement); ``catalog_dirty`` is set by the
+    deferred catalog when the statement changed schema or UDF
+    registrations.
     """
 
-    __slots__ = ("pages", "catalog_dirty")
+    __slots__ = ("pages", "freed", "catalog_dirty")
 
     def __init__(self) -> None:
         self.pages: List[int] = []
+        self.freed: List[int] = []
         self.catalog_dirty = False
 
     def note(self, page_id: int) -> None:
@@ -211,8 +221,15 @@ class BufferPool:
 
     def new_page(self) -> tuple:
         """Allocate a fresh page, pinned; returns (page_id, bytes)."""
+        # Allocate before taking the pool lock: in WAL mode the disk
+        # manager rendezvouses with commit publishes on its publish
+        # lock, and a publisher already holds it while touching pool
+        # state — taking it under the pool lock would deadlock.  The
+        # returned id is exclusively ours either way (popped off the
+        # free list or beyond every other statement's reach), so the
+        # frame installation below needs no allocation atomicity.
+        page_id = self.disk.allocate_page()
         with self._lock:
-            page_id = self.disk.allocate_page()
             index = self._table.get(page_id)
             if index is not None:
                 # WAL mode reuses free-list pages without the legacy
@@ -268,23 +285,47 @@ class BufferPool:
 
         Legacy path: forget the frame, then the disk manager writes the
         free-list pointer in place (seed behaviour, byte-identical).
-        WAL path: the pointer write must be a *logged* page dirty —
-        zero the frame, thread the old free head into its first bytes,
-        and leave it dirty+pending for the committing statement to log;
-        the disk manager only updates its in-memory head.
+        WAL path: only *buffer* the free in the statement's tracker —
+        the shared free list must not reflect an uncommitted statement
+        (a concurrent committer captures ``disk.geometry()`` in its
+        commit record, and a concurrent allocator must never be handed
+        a page whose free is not yet durable).  The chain-pointer
+        writes happen at publish time (:meth:`publish_frees`), under
+        the commit lock, in the same WAL batch as the commit record.
         """
         with self._lock:
             if self.wal is None:
                 self.drop_page(page_id)
                 self.disk.free_page(page_id)
                 return
-            data = self.fetch(page_id)
-            try:
-                previous = self.disk.note_freed(page_id)
-                data[:] = bytes(self.disk.page_size)
-                struct.pack_into("<I", data, 0, previous)
-            finally:
-                self.unpin(page_id, dirty=True)
+            tracker = self._trackers.get(threading.get_ident())
+            if tracker is None:
+                raise BufferPoolError(
+                    f"WAL-mode free of page {page_id} outside a tracked "
+                    f"write statement (the free could never be logged)"
+                )
+            tracker.freed.append(page_id)
+
+    def publish_frees(self, tracker: DirtyTracker) -> None:
+        """Apply a committing statement's buffered frees.
+
+        Runs at publish time on the statement's own thread, with the
+        database's commit lock held and *before*
+        :meth:`collect_images`: each freed page is threaded onto the
+        free list (zeroed, chain pointer to the previous head) as an
+        ordinary tracked page dirty, so the commit batch logs the
+        pointer images alongside the geometry that names the new head.
+        """
+        with self._lock:
+            for page_id in tracker.freed:
+                data = self.fetch(page_id)
+                try:
+                    previous = self.disk.note_freed(page_id)
+                    data[:] = bytes(self.disk.page_size)
+                    struct.pack_into("<I", data, 0, previous)
+                finally:
+                    self.unpin(page_id, dirty=True)
+            tracker.freed.clear()
 
     def _read_free_pointer(self, page_id: int) -> int:
         """Free-list traversal for the disk manager (WAL mode): the
@@ -363,6 +404,17 @@ class BufferPool:
             frame.dirty = False
             frame.rec_lsn = None
             return frame
+        pending = sum(
+            1 for frame in self._frames if frame.rec_lsn is PENDING
+        )
+        if pending:
+            raise BufferPoolError(
+                f"statement working set exceeds the buffer pool: "
+                f"{pending} of {self.capacity} frames hold unlogged "
+                f"(pending) pages that cannot be evicted before their "
+                f"statement commits; raise buffer_capacity or split "
+                f"the statement into smaller commit units"
+            )
         raise BufferPoolError(
             "all buffer frames are pinned; cannot evict"
         )

@@ -22,9 +22,24 @@ so that free-list writes are ordinary logged page dirties instead of
 in-place file writes that crash recovery could not undo.  Without WAL
 mode every code path is byte-identical to the seed behaviour.
 
+Free-list mutations are **commit-granular** in WAL mode: a statement
+that frees pages only buffers them in its
+:class:`~repro.storage.buffer.DirtyTracker`; the buffer pool applies
+them (:meth:`note_freed` + the chain-pointer page dirties) at publish
+time, under the database's commit lock and in the same WAL batch as
+the commit record that captures the resulting :meth:`geometry`.  Pops
+from the free list (:meth:`allocate_page`) take the same lock
+(:attr:`publish_lock`).  The invariant this buys: whenever a commit
+record names a ``free_head``, every chain pointer reachable from it
+was logged by that or an earlier committed statement — recovery can
+never restore a free list that threads through unlogged page bytes,
+and a page freed by a still-uncommitted statement can never be handed
+back out by :meth:`allocate_page`.
+
 All mutating entry points are serialized by an internal lock: with
 per-table write locks above, two writers on disjoint tables may
-allocate or free pages concurrently.
+allocate or free pages concurrently (allocations briefly rendezvous on
+:attr:`publish_lock` in WAL mode).
 
 Every file write funnels through the :class:`~repro.storage.wal.FaultPoint`
 hook (site ``"disk.write"``), so the fault-injection harness can kill
@@ -73,6 +88,13 @@ class DiskManager:
         self.faults = faults if faults is not None else NO_FAULTS
         self._dead = False
         self._lock = threading.RLock()
+        #: WAL mode: serializes free-list pops and commit publishes.
+        #: A :class:`~repro.database.Database` replaces this with its
+        #: commit lock so allocate-from-free-list cannot interleave
+        #: with another statement's publish-time frees — the free list
+        #: only ever changes at commit granularity.  Lock order:
+        #: publish_lock < _lock < (buffer pool lock).
+        self.publish_lock = threading.RLock()
         self._mem: Optional[list] = None
         self._file = None
         self._free_head = NO_PAGE
@@ -178,7 +200,20 @@ class DiskManager:
             self._free_head = free_head
 
     def allocate_page(self) -> int:
-        """Return a zeroed page id, reusing the free list when possible."""
+        """Return a zeroed page id, reusing the free list when possible.
+
+        WAL mode: the free-list pop runs under :attr:`publish_lock`, so
+        it serializes with commit publishes — a page freed by a
+        statement becomes allocatable only once that statement's commit
+        (which logs the chain-pointer image and the new geometry) has
+        published.
+        """
+        if self.wal_mode:
+            with self.publish_lock:
+                return self._allocate_page_locked()
+        return self._allocate_page_locked()
+
+    def _allocate_page_locked(self) -> int:
         with self._lock:
             if self._free_head != NO_PAGE:
                 page_id = self._free_head
@@ -227,9 +262,13 @@ class DiskManager:
             self._flush_header()
 
     def note_freed(self, page_id: int) -> int:
-        """WAL mode: record ``page_id`` as the new free-list head after
-        the pool wrote the chain pointer into its frame.  Returns the
-        previous head (what the frame's pointer must name)."""
+        """WAL mode: record ``page_id`` as the new free-list head;
+        returns the previous head (what the page's chain pointer must
+        name).  Called only at publish time
+        (:meth:`~repro.storage.buffer.BufferPool.publish_frees`), with
+        :attr:`publish_lock` held, so the head moves at commit
+        granularity and the commit record that captures it also logs
+        the chain-pointer page image."""
         with self._lock:
             self._check(page_id)
             previous = self._free_head
@@ -309,10 +348,19 @@ class DiskManager:
                 self._file.flush()
                 os.fsync(self._file.fileno())
 
-    def close(self) -> None:
+    def close(self, sync: bool = True) -> None:
+        """Close the data file.
+
+        ``sync=False`` drops the descriptor without flushing anything —
+        in particular without writing the in-memory header.  A
+        WAL-backed database closes this way after a crashed checkpoint
+        (dead WAL): the header may hold geometry mutated by the crashed,
+        uncommitted statement, and in WAL mode only a checkpoint or
+        recovery may write the header to the data file.
+        """
         with self._lock:
             if self._file is not None:
-                if not self._dead:
+                if sync and not self._dead:
                     self.sync()
                 self._file.close()
                 self._file = None

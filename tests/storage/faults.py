@@ -38,9 +38,11 @@ criterion of the durability issue, verified *bit-identically*:
 from __future__ import annotations
 
 import os
+import struct
 
 from repro.database import Database
 from repro.errors import SimulatedCrash, WALError
+from repro.storage.disk import NO_PAGE
 from repro.storage.wal import FaultPoint
 
 
@@ -128,6 +130,32 @@ def apply_statements(db: Database, statements) -> tuple:
             pass  # logical failure: still one committed statement
         acked += 1
     return acked, False
+
+
+def check_free_list(db: Database) -> list:
+    """Walk the free list and assert it is structurally sound.
+
+    Every entry must be a valid page id, the chain must be acyclic and
+    terminate at ``NO_PAGE`` — the invariants a commit record carrying
+    another statement's uncommitted ``free_head`` would break after a
+    crash (stale table bytes read as a chain pointer).  Returns the
+    free page ids in chain order.
+    """
+    npages, head = db.disk.geometry()
+    seen = []
+    page_id = head
+    while page_id != NO_PAGE:
+        assert 1 <= page_id < npages, (
+            f"free list entry {page_id} outside [1, {npages})"
+        )
+        assert page_id not in seen, (
+            f"free list cycles back to page {page_id}"
+        )
+        seen.append(page_id)
+        assert len(seen) <= npages, "free list longer than the file"
+        with db.pool.pinned(page_id) as data:
+            (page_id,) = struct.unpack_from("<I", data, 0)
+    return seen
 
 
 def fingerprint(path: str) -> dict:
